@@ -1,0 +1,338 @@
+//! Per-cluster scheduling: FCFS with EASY-style backfilling over a core
+//! pool, at slice granularity, with the paper's one-running-job-per-user
+//! constraint.
+
+use green_units::{TimePoint, TimeSpan};
+use green_workload::UserId;
+use std::collections::{HashMap, VecDeque};
+
+/// A job waiting in a cluster queue.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedJob {
+    /// Index into the workload.
+    pub job: usize,
+    /// Submitting user.
+    pub user: UserId,
+    /// Provisioned cores (after slice rounding).
+    pub cores: u32,
+    /// Predicted runtime on this cluster (used for backfill reservations;
+    /// the simulator treats predictions as exact).
+    pub runtime: TimeSpan,
+    /// Submission time.
+    pub submitted: TimePoint,
+}
+
+/// A job currently executing.
+#[derive(Debug, Clone, Copy)]
+struct RunningJob {
+    user: UserId,
+    cores: u32,
+    ends: TimePoint,
+}
+
+/// Default backfill scan depth past the blocked head. Bounding the scan
+/// keeps worst-case scheduling cost linear for the single-machine
+/// policies whose queues grow into the tens of thousands.
+pub const DEFAULT_BACKFILL_DEPTH: usize = 256;
+
+/// One cluster's scheduling state.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Total schedulable cores (nodes × cores per node).
+    pub total_cores: u64,
+    /// Cores currently free.
+    pub free_cores: u64,
+    /// Largest single job the cluster accepts, in cores.
+    pub max_job_cores: u32,
+    /// How many queue entries past the blocked head the backfill pass
+    /// may inspect. Zero disables backfilling (pure FCFS) — used by the
+    /// scheduling ablation bench.
+    pub backfill_depth: usize,
+    queue: VecDeque<QueuedJob>,
+    running: HashMap<usize, RunningJob>,
+    users_running: HashMap<UserId, u32>,
+    /// Sum of queued core-seconds (wait estimator state).
+    queued_core_seconds: f64,
+}
+
+impl Cluster {
+    /// Builds a cluster with the given capacity.
+    pub fn new(total_cores: u64, max_job_cores: u32) -> Self {
+        Cluster {
+            total_cores,
+            free_cores: total_cores,
+            max_job_cores,
+            backfill_depth: DEFAULT_BACKFILL_DEPTH,
+            queue: VecDeque::new(),
+            running: HashMap::new(),
+            users_running: HashMap::new(),
+            queued_core_seconds: 0.0,
+        }
+    }
+
+    /// True when `cores` fits the cluster at all.
+    pub fn eligible(&self, cores: u32) -> bool {
+        cores <= self.max_job_cores && cores as u64 <= self.total_cores
+    }
+
+    /// Number of queued jobs.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of running jobs.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Estimated wait for a newly submitted job: zero when it could start
+    /// immediately, otherwise the cluster's backlog drained at full
+    /// capacity (an M/G/c-style estimate — the paper's EFT policy only
+    /// needs a ranking signal, not exact waits).
+    pub fn estimated_wait(&self, cores: u32, user: UserId, now: TimePoint) -> TimeSpan {
+        let user_busy = self.users_running.get(&user).copied().unwrap_or(0) > 0;
+        if !user_busy && self.queue.is_empty() && cores as u64 <= self.free_cores {
+            return TimeSpan::ZERO;
+        }
+        let running_remaining: f64 = self
+            .running
+            .values()
+            .map(|r| (r.ends - now).as_secs().max(0.0) * r.cores as f64)
+            .sum();
+        let backlog = running_remaining + self.queued_core_seconds;
+        TimeSpan::from_secs(backlog / self.total_cores as f64)
+    }
+
+    /// Enqueues a job.
+    pub fn submit(&mut self, job: QueuedJob) {
+        self.queued_core_seconds += job.runtime.as_secs() * job.cores as f64;
+        self.queue.push_back(job);
+    }
+
+    /// Marks a job finished and frees its cores.
+    pub fn finish(&mut self, job: usize) {
+        let r = self
+            .running
+            .remove(&job)
+            .expect("finish event for a job not running here");
+        self.free_cores += r.cores as u64;
+        if let Some(n) = self.users_running.get_mut(&r.user) {
+            *n -= 1;
+            if *n == 0 {
+                self.users_running.remove(&r.user);
+            }
+        }
+    }
+
+    /// Runs one scheduling pass at time `now`; returns the jobs started.
+    ///
+    /// Policy: scan from the head. Jobs blocked only by the user
+    /// constraint are skipped (they delay nobody but their owner). The
+    /// first capacity-blocked job becomes the *reserved head*: its
+    /// earliest start is computed from running-job end times, and later
+    /// queue entries may backfill only if they cannot delay that start.
+    pub fn schedule(&mut self, now: TimePoint) -> Vec<QueuedJob> {
+        let mut started = Vec::new();
+        let mut reservation: Option<(TimePoint, u64)> = None; // (head start, cores free then)
+        let mut scanned_past_head = 0usize;
+        let mut idx = 0;
+        while idx < self.queue.len() {
+            let job = self.queue[idx];
+            let user_blocked = self.users_running.get(&job.user).copied().unwrap_or(0) > 0;
+            if user_blocked {
+                idx += 1;
+                continue;
+            }
+            let fits_now = job.cores as u64 <= self.free_cores;
+            match (&mut reservation, fits_now) {
+                (None, true) => {
+                    // FCFS start.
+                    self.start(job, now);
+                    self.queue.remove(idx);
+                    started.push(job);
+                    // Restart the scan state: capacity changed.
+                    continue;
+                }
+                (None, false) => {
+                    // This job reserves the machine.
+                    reservation = Some(self.earliest_fit(job.cores, now));
+                    idx += 1;
+                }
+                (Some((head_start, free_at_head)), true) => {
+                    scanned_past_head += 1;
+                    if scanned_past_head > self.backfill_depth {
+                        break;
+                    }
+                    // EASY condition: either the backfill job ends before
+                    // the head could start, or the head still fits at its
+                    // reserved time with this job running.
+                    let ends_before_head = now + job.runtime <= *head_start;
+                    let head_still_fits = *free_at_head >= job.cores as u64;
+                    if ends_before_head || head_still_fits {
+                        if !ends_before_head {
+                            *free_at_head -= job.cores as u64;
+                        }
+                        self.start(job, now);
+                        self.queue.remove(idx);
+                        started.push(job);
+                        continue;
+                    }
+                    idx += 1;
+                }
+                (Some(_), false) => {
+                    scanned_past_head += 1;
+                    if scanned_past_head > self.backfill_depth {
+                        break;
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        started
+    }
+
+    fn start(&mut self, job: QueuedJob, now: TimePoint) {
+        debug_assert!(job.cores as u64 <= self.free_cores);
+        self.free_cores -= job.cores as u64;
+        self.queued_core_seconds -= job.runtime.as_secs() * job.cores as f64;
+        if self.queued_core_seconds < 0.0 {
+            self.queued_core_seconds = 0.0;
+        }
+        *self.users_running.entry(job.user).or_insert(0) += 1;
+        self.running.insert(
+            job.job,
+            RunningJob {
+                user: job.user,
+                cores: job.cores,
+                ends: now + job.runtime,
+            },
+        );
+    }
+
+    /// Earliest time `cores` become free, and how many cores will be free
+    /// then (after the release), based on running-job end times. The
+    /// "head still fits" budget excludes the head's own cores: backfill
+    /// jobs may consume only the surplus above the head's requirement.
+    fn earliest_fit(&self, cores: u32, now: TimePoint) -> (TimePoint, u64) {
+        let mut releases: Vec<(TimePoint, u32)> =
+            self.running.values().map(|r| (r.ends, r.cores)).collect();
+        releases.sort_by(|a, b| a.0.as_secs().total_cmp(&b.0.as_secs()));
+        let mut free = self.free_cores;
+        let mut when = now;
+        for (t, c) in releases {
+            if free >= cores as u64 {
+                break;
+            }
+            free += c as u64;
+            when = t;
+        }
+        // Surplus after the head starts at `when`.
+        (when, free.saturating_sub(cores as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qj(job: usize, user: u32, cores: u32, runtime_s: f64, t: f64) -> QueuedJob {
+        QueuedJob {
+            job,
+            user: UserId(user),
+            cores,
+            runtime: TimeSpan::from_secs(runtime_s),
+            submitted: TimePoint::from_secs(t),
+        }
+    }
+
+    #[test]
+    fn fcfs_starts_in_order() {
+        let mut c = Cluster::new(100, 100);
+        c.submit(qj(0, 0, 40, 100.0, 0.0));
+        c.submit(qj(1, 1, 40, 100.0, 0.0));
+        c.submit(qj(2, 2, 40, 100.0, 0.0));
+        let started = c.schedule(TimePoint::EPOCH);
+        // Two fit (80 ≤ 100), the third (would be 120) must wait.
+        assert_eq!(started.len(), 2);
+        assert_eq!(started[0].job, 0);
+        assert_eq!(started[1].job, 1);
+        assert_eq!(c.free_cores, 20);
+        assert_eq!(c.queue_len(), 1);
+    }
+
+    #[test]
+    fn backfill_does_not_delay_head() {
+        let mut c = Cluster::new(100, 100);
+        // Long job holding 60 cores until t=1000; 40 remain free.
+        c.submit(qj(0, 0, 60, 1000.0, 0.0));
+        c.schedule(TimePoint::EPOCH);
+        // Head needs 80 cores: can start only at t=1000 (surplus then: 20).
+        c.submit(qj(1, 1, 80, 500.0, 1.0));
+        // Short job (20 cores, ends ≈t=504 < 1000): backfills harmlessly.
+        c.submit(qj(2, 2, 20, 499.0, 2.0));
+        // Long job (20 cores, 5000 s): overlaps the head's start but fits
+        // in the 20-core surplus beyond the head's 80 — allowed.
+        c.submit(qj(3, 3, 20, 5000.0, 3.0));
+        // Another long 20-core job would eat into the head's reservation
+        // (surplus exhausted) and no cores are free now anyway — waits.
+        c.submit(qj(4, 4, 20, 5000.0, 4.0));
+        let started = c.schedule(TimePoint::from_secs(5.0));
+        let ids: Vec<usize> = started.iter().map(|s| s.job).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(c.queue_len(), 2);
+    }
+
+    #[test]
+    fn user_constraint_serializes_per_cluster() {
+        let mut c = Cluster::new(100, 100);
+        c.submit(qj(0, 7, 10, 100.0, 0.0));
+        c.submit(qj(1, 7, 10, 100.0, 0.0));
+        let started = c.schedule(TimePoint::EPOCH);
+        assert_eq!(started.len(), 1, "same user must not run twice at once");
+        // But another user is not blocked by it.
+        c.submit(qj(2, 8, 10, 100.0, 0.0));
+        let started = c.schedule(TimePoint::EPOCH);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].user, UserId(8));
+        // After the first finishes, the second of user 7 can go.
+        c.finish(0);
+        let started = c.schedule(TimePoint::from_secs(100.0));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, 1);
+    }
+
+    #[test]
+    fn finish_releases_cores() {
+        let mut c = Cluster::new(50, 50);
+        c.submit(qj(0, 0, 50, 10.0, 0.0));
+        c.schedule(TimePoint::EPOCH);
+        assert_eq!(c.free_cores, 0);
+        c.finish(0);
+        assert_eq!(c.free_cores, 50);
+        assert_eq!(c.running_len(), 0);
+    }
+
+    #[test]
+    fn wait_estimate_zero_when_idle() {
+        let mut c = Cluster::new(100, 100);
+        assert_eq!(
+            c.estimated_wait(10, UserId(0), TimePoint::EPOCH).as_secs(),
+            0.0
+        );
+        c.submit(qj(0, 0, 100, 1000.0, 0.0));
+        c.schedule(TimePoint::EPOCH);
+        // Cluster saturated: a new job sees a positive backlog.
+        let w = c.estimated_wait(10, UserId(1), TimePoint::EPOCH);
+        assert!(w.as_secs() > 0.0);
+        // The same user as the running job is always positive too.
+        let w_same = c.estimated_wait(10, UserId(0), TimePoint::EPOCH);
+        assert!(w_same.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn eligibility_by_max_job_size() {
+        let c = Cluster::new(16, 16);
+        assert!(c.eligible(16));
+        assert!(!c.eligible(17));
+    }
+}

@@ -1,0 +1,130 @@
+//! The simulator's event queue.
+
+use green_units::TimePoint;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Discrete simulation events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job arrives and is routed by the policy (payload: job index).
+    Arrival(usize),
+    /// A running job finishes (payload: machine index, job index).
+    Finish(usize, usize),
+}
+
+/// A timestamped event. Ties break by sequence number, so insertion order
+/// is deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// When the event fires.
+    pub at: TimePoint,
+    /// Monotone tie-breaker.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .at
+            .as_secs()
+            .total_cmp(&self.at.as_secs())
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Earliest-first event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, at: TimePoint, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(TimePoint::from_secs(5.0), EventKind::Arrival(1));
+        q.push(TimePoint::from_secs(1.0), EventKind::Arrival(2));
+        q.push(TimePoint::from_secs(3.0), EventKind::Finish(0, 3));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_secs())
+            .collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = TimePoint::from_secs(2.0);
+        q.push(t, EventKind::Arrival(10));
+        q.push(t, EventKind::Arrival(20));
+        q.push(t, EventKind::Arrival(30));
+        let ids: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(TimePoint::EPOCH, EventKind::Arrival(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Resolved per-(archetype, machine) behaviour: the cache in front of the
+//! KNN predictor.
+//!
+//! Jobs sharing an archetype share counters, so the 142k-job workload only
+//! needs one KNN prediction per archetype per machine. The table resolves
+//! a job into concrete runtime/power/energy on each machine — the values
+//! the simulator treats as ground truth, exactly as the paper's simulator
+//! consumes its predictions.
+
+use green_machines::FleetMachine;
+use green_perfmodel::{CrossMachinePredictor, MachinePrediction};
+use green_units::{Energy, Power, TimeSpan};
+use green_workload::{Job, Trace};
+
+/// Per-archetype, per-machine predictions.
+#[derive(Debug, Clone)]
+pub struct PlacementTable {
+    machines: usize,
+    /// `predictions[archetype * machines + machine]`.
+    predictions: Vec<MachinePrediction>,
+    /// Cross-machine mean runtime ratio per archetype (the "work" weight).
+    mean_ratio: Vec<f64>,
+}
+
+impl PlacementTable {
+    /// Precomputes predictions for every archetype in `trace` on every
+    /// fleet machine.
+    pub fn build(
+        trace: &Trace,
+        fleet: &[FleetMachine],
+        predictor: &CrossMachinePredictor,
+    ) -> PlacementTable {
+        assert_eq!(
+            fleet.len(),
+            predictor.machines().len(),
+            "fleet and predictor must cover the same machines"
+        );
+        let machines = fleet.len();
+        let mut predictions = Vec::with_capacity(trace.archetypes.len() * machines);
+        let mut mean_ratio = Vec::with_capacity(trace.archetypes.len());
+        for counters in &trace.archetypes {
+            let preds = predictor.predict(counters);
+            let mean = preds.iter().map(|p| p.runtime_ratio).sum::<f64>() / machines as f64;
+            mean_ratio.push(mean);
+            predictions.extend(preds);
+        }
+        PlacementTable {
+            machines,
+            predictions,
+            mean_ratio,
+        }
+    }
+
+    /// Number of machines covered.
+    pub fn machine_count(&self) -> usize {
+        self.machines
+    }
+
+    /// The raw prediction for an archetype on a machine.
+    pub fn prediction(&self, archetype: u32, machine: usize) -> &MachinePrediction {
+        &self.predictions[archetype as usize * self.machines + machine]
+    }
+
+    /// Predicted wall-clock runtime of `job` on `machine`.
+    pub fn runtime(&self, job: &Job, machine: usize) -> TimeSpan {
+        job.ref_runtime * self.prediction(job.archetype, machine).runtime_ratio
+    }
+
+    /// Predicted average power of `job` on `machine` (all requested
+    /// cores).
+    pub fn power(&self, job: &Job, machine: usize) -> Power {
+        self.prediction(job.archetype, machine).power_per_core * job.cores as f64
+    }
+
+    /// Predicted energy of `job` on `machine`.
+    pub fn energy(&self, job: &Job, machine: usize) -> Energy {
+        self.power(job, machine) * self.runtime(job, machine)
+    }
+
+    /// The paper's machine-neutral work measure: the job's core-hours
+    /// averaged across all machines.
+    pub fn work_core_hours(&self, job: &Job) -> f64 {
+        job.cores as f64 * job.ref_runtime.as_hours() * self.mean_ratio[job.archetype as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_machines::simulation_fleet;
+    use green_perfmodel::MachineBehavior;
+    use green_workload::TraceConfig;
+
+    fn setup() -> (Trace, Vec<FleetMachine>, CrossMachinePredictor) {
+        let fleet = simulation_fleet();
+        let behaviors: Vec<MachineBehavior> = fleet
+            .iter()
+            .map(|m| MachineBehavior::for_spec(&m.spec))
+            .collect();
+        let predictor = CrossMachinePredictor::train(behaviors, 2, 17);
+        let trace = Trace::generate(&TraceConfig::small(17), &predictor);
+        (trace, fleet, predictor)
+    }
+
+    #[test]
+    fn covers_all_archetypes_and_machines() {
+        let (trace, fleet, predictor) = setup();
+        let table = PlacementTable::build(&trace, &fleet, &predictor);
+        assert_eq!(table.machine_count(), 4);
+        for job in trace.jobs.iter().take(100) {
+            for m in 0..4 {
+                assert!(table.runtime(job, m).as_secs() > 0.0);
+                assert!(table.energy(job, m).as_joules() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_machine_runtime_close_to_trace() {
+        let (trace, fleet, predictor) = setup();
+        let table = PlacementTable::build(&trace, &fleet, &predictor);
+        let mut ratios = Vec::new();
+        for job in trace.jobs.iter().take(200) {
+            ratios.push(table.runtime(job, 2) / job.ref_runtime);
+        }
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!((mean - 1.0).abs() < 0.15, "IC ratio mean {mean:.3}");
+    }
+
+    #[test]
+    fn theta_slowest_on_average() {
+        let (trace, fleet, predictor) = setup();
+        let table = PlacementTable::build(&trace, &fleet, &predictor);
+        let mut sums = [0.0f64; 4];
+        for job in trace.jobs.iter().take(300) {
+            for m in 0..4 {
+                sums[m] += table.runtime(job, m).as_secs();
+            }
+        }
+        assert!(sums[3] > sums[0] && sums[3] > sums[1] && sums[3] > sums[2]);
+    }
+
+    #[test]
+    fn work_is_machine_neutral_and_positive() {
+        let (trace, fleet, predictor) = setup();
+        let table = PlacementTable::build(&trace, &fleet, &predictor);
+        for job in trace.jobs.iter().take(100) {
+            let w = table.work_core_hours(job);
+            assert!(w > 0.0);
+            // Bounded by slowest-machine core-hours.
+            let max = (0..4)
+                .map(|m| job.cores as f64 * table.runtime(job, m).as_hours())
+                .fold(f64::MIN, f64::max);
+            assert!(w <= max + 1e-9);
+        }
+    }
+}

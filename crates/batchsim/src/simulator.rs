@@ -1,0 +1,412 @@
+//! The discrete-event simulation loop.
+
+use green_accounting::{ChargeContext, MethodKind};
+use green_carbon::{HourlyTrace, IntensitySource};
+use green_machines::FleetMachine;
+use green_units::TimePoint;
+use green_workload::Trace;
+
+use crate::cluster::{Cluster, QueuedJob};
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::{JobOutcome, RunMetrics};
+use crate::policy::{MachineOption, Policy};
+use crate::profile::PlacementTable;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The user's machine-selection policy.
+    pub policy: Policy,
+    /// The accounting method driving cost-aware policies (Greedy/Mixed)
+    /// and the `charges` the allocation experiment consumes.
+    pub decision_method: MethodKind,
+    /// Simulation start year (fixes machine ages → carbon rates).
+    pub sim_year: i32,
+    /// Number of simulated users owning a private Desktop.
+    pub users: u32,
+    /// Backfill scan depth for every cluster (`0` = pure FCFS); see
+    /// [`crate::cluster::DEFAULT_BACKFILL_DEPTH`].
+    pub backfill_depth: usize,
+}
+
+impl SimConfig {
+    /// Standard configuration for a policy/method pair.
+    pub fn new(policy: Policy, decision_method: MethodKind, users: u32) -> SimConfig {
+        SimConfig {
+            policy,
+            decision_method,
+            sim_year: 2023,
+            users,
+            backfill_depth: crate::cluster::DEFAULT_BACKFILL_DEPTH,
+        }
+    }
+}
+
+/// A configured simulator, borrowing the immutable experiment state.
+pub struct Simulator<'a> {
+    trace: &'a Trace,
+    fleet: &'a [FleetMachine],
+    table: &'a PlacementTable,
+    intensity: &'a [HourlyTrace],
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator. `intensity` is one trace per fleet machine,
+    /// index-aligned.
+    pub fn new(
+        trace: &'a Trace,
+        fleet: &'a [FleetMachine],
+        table: &'a PlacementTable,
+        intensity: &'a [HourlyTrace],
+        config: SimConfig,
+    ) -> Self {
+        assert_eq!(fleet.len(), intensity.len());
+        assert_eq!(fleet.len(), table.machine_count());
+        Simulator {
+            trace,
+            fleet,
+            table,
+            intensity,
+            config,
+        }
+    }
+
+    /// Provisioned cores of a job on a machine: request rounded up to the
+    /// allocation slice (not capped per node — multi-node jobs hold
+    /// multiple slices).
+    fn provisioned_cores(&self, machine: usize, cores: u32) -> u32 {
+        let slice = self.fleet[machine].spec.slice_cores;
+        cores.max(1).div_ceil(slice) * slice
+    }
+
+    /// Builds the policy's view of one machine for one job.
+    fn option(
+        &self,
+        clusters: &[Cluster],
+        machine: usize,
+        job_idx: usize,
+        now: TimePoint,
+    ) -> MachineOption {
+        let job = &self.trace.jobs[job_idx];
+        let provisioned = self.provisioned_cores(machine, job.cores);
+        let eligible = clusters[machine].eligible(provisioned);
+        let runtime = self.table.runtime(job, machine);
+        let energy = self.table.energy(job, machine);
+        let ctx = self.charge_context(machine, job_idx, now);
+        MachineOption {
+            machine,
+            eligible,
+            runtime,
+            energy,
+            cost: self.config.decision_method.charge(&ctx).value(),
+            est_wait: clusters[machine].estimated_wait(provisioned, job.user, now),
+        }
+    }
+
+    /// For the GreedyShift extension: the delay (in whole hours, `1..=max`)
+    /// that minimizes the cheapest machine quote over the window, or
+    /// `None` when submitting now is already optimal.
+    fn best_submission_delay(
+        &self,
+        job_idx: usize,
+        now: TimePoint,
+        max_delay_hours: u32,
+    ) -> Option<u32> {
+        let quote_at = |at: TimePoint| -> f64 {
+            (0..self.fleet.len())
+                .map(|m| {
+                    let ctx = self.charge_context(m, job_idx, at);
+                    self.config.decision_method.charge(&ctx).value()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let now_cost = quote_at(now);
+        let mut best: Option<(u32, f64)> = None;
+        for delay in 1..=max_delay_hours {
+            let cost = quote_at(now + green_units::TimeSpan::from_hours(delay as f64));
+            if cost < best.map(|(_, c)| c).unwrap_or(now_cost) {
+                best = Some((delay, cost));
+            }
+        }
+        // Only shift for a material gain; a fraction of a percent is not
+        // worth sitting in a queue an hour longer.
+        best.filter(|(_, c)| *c < now_cost * 0.99).map(|(d, _)| d)
+    }
+
+    /// The accounting context of a job on a machine, with the grid
+    /// intensity read at `at`.
+    fn charge_context(&self, machine: usize, job_idx: usize, at: TimePoint) -> ChargeContext {
+        let job = &self.trace.jobs[job_idx];
+        let spec = &self.fleet[machine].spec;
+        let provisioned = self.provisioned_cores(machine, job.cores);
+        let runtime = self.table.runtime(job, machine);
+        let energy = self.table.energy(job, machine);
+        ChargeContext::new(energy, runtime)
+            .with_cores(job.cores)
+            .with_provisioned(
+                spec.tdp_per_core() * provisioned as f64,
+                provisioned as f64 / spec.cores as f64,
+            )
+            .with_peak(spec.cpu.peak_per_thread)
+            .with_carbon(
+                self.intensity[machine].intensity_at(at),
+                spec.carbon_rate(self.config.sim_year),
+            )
+            .with_pue(spec.facility.pue)
+    }
+
+    /// Runs the full workload to completion and collects metrics.
+    pub fn run(&self) -> RunMetrics {
+        let n_machines = self.fleet.len();
+        let mut clusters: Vec<Cluster> = self
+            .fleet
+            .iter()
+            .map(|m| {
+                let mut cluster = if m.per_user {
+                    // One private node per user; the per-cluster user
+                    // constraint keeps each user inside their own node.
+                    let cores = m.spec.cores as u64 * self.config.users as u64;
+                    Cluster::new(cores, m.spec.cores)
+                } else {
+                    let cores = m.spec.cores as u64 * m.nodes as u64;
+                    Cluster::new(
+                        cores,
+                        (m.spec.cores as u64 * m.nodes as u64).min(u32::MAX as u64) as u32,
+                    )
+                };
+                cluster.backfill_depth = self.config.backfill_depth;
+                cluster
+            })
+            .collect();
+
+        let mut events = EventQueue::new();
+        for (idx, job) in self.trace.jobs.iter().enumerate() {
+            events.push(job.arrival, EventKind::Arrival(idx));
+        }
+
+        let mut started_at = vec![f64::NAN; self.trace.jobs.len()];
+        let mut machine_of = vec![u32::MAX; self.trace.jobs.len()];
+        let mut outcomes = Vec::with_capacity(self.trace.jobs.len());
+        let mut rejected = 0usize;
+        // GreedyShift bookkeeping: a job may be postponed at most once.
+        let mut shifted = vec![false; self.trace.jobs.len()];
+
+        while let Some(event) = events.pop() {
+            let now = event.at;
+            match event.kind {
+                EventKind::Arrival(job_idx) => {
+                    // Temporal shifting: quote every whole-hour submission
+                    // moment in the window and postpone if a cleaner hour
+                    // is strictly cheaper.
+                    if let Policy::GreedyShift { max_delay_hours } = self.config.policy {
+                        if !shifted[job_idx] {
+                            shifted[job_idx] = true;
+                            if let Some(delay_h) =
+                                self.best_submission_delay(job_idx, now, max_delay_hours)
+                            {
+                                events.push(
+                                    now + green_units::TimeSpan::from_hours(delay_h as f64),
+                                    EventKind::Arrival(job_idx),
+                                );
+                                continue;
+                            }
+                        }
+                    }
+                    let job = &self.trace.jobs[job_idx];
+                    let options: Vec<MachineOption> = (0..n_machines)
+                        .map(|m| self.option(&clusters, m, job_idx, now))
+                        .collect();
+                    let Some(machine) = self.config.policy.choose(&options) else {
+                        rejected += 1;
+                        continue;
+                    };
+                    machine_of[job_idx] = machine as u32;
+                    let provisioned = self.provisioned_cores(machine, job.cores);
+                    clusters[machine].submit(QueuedJob {
+                        job: job_idx,
+                        user: job.user,
+                        cores: provisioned,
+                        runtime: self.table.runtime(job, machine),
+                        submitted: now,
+                    });
+                    for started in clusters[machine].schedule(now) {
+                        started_at[started.job] = now.as_secs();
+                        events.push(
+                            now + started.runtime,
+                            EventKind::Finish(machine, started.job),
+                        );
+                    }
+                }
+                EventKind::Finish(machine, job_idx) => {
+                    clusters[machine].finish(job_idx);
+                    outcomes.push(self.outcome(job_idx, machine, started_at[job_idx], now));
+                    for started in clusters[machine].schedule(now) {
+                        started_at[started.job] = now.as_secs();
+                        events.push(
+                            now + started.runtime,
+                            EventKind::Finish(machine, started.job),
+                        );
+                    }
+                }
+            }
+        }
+
+        RunMetrics {
+            policy: self.config.policy.name(
+                &self
+                    .fleet
+                    .iter()
+                    .map(|m| m.spec.name.as_str())
+                    .collect::<Vec<_>>(),
+            ),
+            outcomes,
+            rejected,
+        }
+    }
+
+    fn outcome(&self, job_idx: usize, machine: usize, start_s: f64, end: TimePoint) -> JobOutcome {
+        let job = &self.trace.jobs[job_idx];
+        // Charges use the intensity at the job's start (the accounting
+        // window opens when the job begins drawing power).
+        let ctx = self.charge_context(machine, job_idx, TimePoint::from_secs(start_s));
+        let charges = [
+            MethodKind::Runtime.charge(&ctx).value(),
+            MethodKind::Energy.charge(&ctx).value(),
+            MethodKind::Peak.charge(&ctx).value(),
+            MethodKind::eba().charge(&ctx).value(),
+            MethodKind::Cba.charge(&ctx).value(),
+        ];
+        let footprint = green_carbon::attribute_job(
+            ctx.facility_energy(),
+            ctx.carbon_intensity,
+            ctx.duration,
+            ctx.carbon_rate,
+            ctx.provisioned_share,
+        );
+        JobOutcome {
+            job: job.id.0,
+            user: job.user.0,
+            machine: machine as u32,
+            cores: job.cores,
+            arrival_s: job.arrival.as_secs(),
+            start_s,
+            end_s: end.as_secs(),
+            energy_kwh: ctx.energy.as_kwh(),
+            charges,
+            op_carbon_g: footprint.operational.as_grams(),
+            attributed_g: footprint.total().as_grams(),
+            work_core_hours: self.table.work_core_hours(job),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_machines::simulation_fleet;
+    use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
+    use green_workload::TraceConfig;
+
+    fn setup() -> (Trace, Vec<FleetMachine>, PlacementTable, Vec<HourlyTrace>) {
+        let fleet = simulation_fleet();
+        let behaviors: Vec<MachineBehavior> = fleet
+            .iter()
+            .map(|m| MachineBehavior::for_spec(&m.spec))
+            .collect();
+        let predictor = CrossMachinePredictor::train(behaviors, 2, 23);
+        let trace = Trace::generate(&TraceConfig::small(23), &predictor);
+        let table = PlacementTable::build(&trace, &fleet, &predictor);
+        let intensity: Vec<HourlyTrace> = fleet
+            .iter()
+            .map(|m| m.spec.facility.region.trace(23, 90))
+            .collect();
+        (trace, fleet, table, intensity)
+    }
+
+    fn run(policy: Policy) -> RunMetrics {
+        let (trace, fleet, table, intensity) = setup();
+        let sim = Simulator::new(
+            &trace,
+            &fleet,
+            &table,
+            &intensity,
+            SimConfig::new(policy, MethodKind::eba(), 24),
+        );
+        sim.run()
+    }
+
+    #[test]
+    fn all_jobs_complete_under_greedy() {
+        let m = run(Policy::Greedy);
+        assert_eq!(m.outcomes.len() + m.rejected, 1_500);
+        assert_eq!(m.rejected, 0, "every job fits somewhere");
+        // Starts never precede arrivals.
+        for o in &m.outcomes {
+            assert!(o.start_s >= o.arrival_s - 1e-6);
+            assert!(o.end_s > o.start_s);
+        }
+    }
+
+    #[test]
+    fn greedy_never_uses_theta_under_eba() {
+        let m = run(Policy::Greedy);
+        let dist = m.machine_distribution(4);
+        assert_eq!(dist[3], 0, "Theta is never cheapest under EBA: {dist:?}");
+    }
+
+    #[test]
+    fn fixed_policy_uses_single_machine() {
+        let m = run(Policy::Fixed(2));
+        let dist = m.machine_distribution(4);
+        assert_eq!(dist[0], 0);
+        assert_eq!(dist[1], 0);
+        assert_eq!(dist[3], 0);
+        assert!(dist[2] > 0);
+    }
+
+    #[test]
+    fn energy_policy_uses_least_energy() {
+        let energy = run(Policy::Energy);
+        let runtime = run(Policy::Runtime);
+        assert!(
+            energy.total_energy_mwh() < runtime.total_energy_mwh(),
+            "Energy {:.1} MWh vs Runtime {:.1} MWh",
+            energy.total_energy_mwh(),
+            runtime.total_energy_mwh()
+        );
+    }
+
+    #[test]
+    fn eft_no_slower_than_single_machine() {
+        let eft = run(Policy::Eft);
+        let theta = run(Policy::Fixed(3));
+        assert!(eft.makespan_hours() <= theta.makespan_hours() * 1.05);
+        assert!(eft.mean_wait_hours() <= theta.mean_wait_hours() + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(Policy::Mixed);
+        let b = run(Policy::Mixed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_user_desktop_capacity_scales_with_users() {
+        let (trace, fleet, table, intensity) = setup();
+        let sim = Simulator::new(
+            &trace,
+            &fleet,
+            &table,
+            &intensity,
+            SimConfig::new(Policy::Fixed(1), MethodKind::eba(), 24),
+        );
+        let m = sim.run();
+        // Only Desktop-sized jobs complete; larger ones are rejected.
+        let over = trace.jobs.iter().filter(|j| j.cores > 16).count();
+        assert_eq!(m.rejected, over);
+        let dist = m.machine_distribution(4);
+        assert_eq!(dist[1], trace.len() - over);
+    }
+}

@@ -1,0 +1,155 @@
+//! Model-based property tests for the cluster scheduler: random
+//! submit/finish interleavings must preserve the scheduling invariants.
+
+use green_batchsim::cluster::{Cluster, QueuedJob};
+use green_units::{TimePoint, TimeSpan};
+use green_workload::UserId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct JobSpec {
+    user: u32,
+    cores: u32,
+    runtime: f64,
+}
+
+fn job_spec() -> impl Strategy<Value = JobSpec> {
+    (0u32..6, 1u32..64, 10.0..5_000.0f64).prop_map(|(user, cores, runtime)| JobSpec {
+        user,
+        cores,
+        runtime,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Free cores never exceed capacity, never go negative, and every
+    /// started job is eventually finishable with exact core return.
+    #[test]
+    fn capacity_is_conserved(jobs in prop::collection::vec(job_spec(), 1..60)) {
+        let capacity = 128u64;
+        let mut cluster = Cluster::new(capacity, 64);
+        let mut now = 0.0f64;
+        let mut running: Vec<(usize, f64)> = Vec::new(); // (job id, end)
+        let mut started_cores: HashMap<usize, u32> = HashMap::new();
+
+        for (id, spec) in jobs.iter().enumerate() {
+            cluster.submit(QueuedJob {
+                job: id,
+                user: UserId(spec.user),
+                cores: spec.cores,
+                runtime: TimeSpan::from_secs(spec.runtime),
+                submitted: TimePoint::from_secs(now),
+            });
+            for s in cluster.schedule(TimePoint::from_secs(now)) {
+                running.push((s.job, now + s.runtime.as_secs()));
+                started_cores.insert(s.job, s.cores);
+            }
+            prop_assert!(cluster.free_cores <= capacity);
+
+            // Occasionally retire the earliest-running job.
+            if running.len() > 3 {
+                running.sort_by(|a, b| a.1.total_cmp(&b.1));
+                let (job, end) = running.remove(0);
+                now = now.max(end);
+                cluster.finish(job);
+                for s in cluster.schedule(TimePoint::from_secs(now)) {
+                    running.push((s.job, now + s.runtime.as_secs()));
+                    started_cores.insert(s.job, s.cores);
+                }
+                prop_assert!(cluster.free_cores <= capacity);
+            }
+        }
+
+        // Drain everything.
+        running.sort_by(|a, b| a.1.total_cmp(&b.1));
+        while let Some((job, end)) = running.first().copied() {
+            running.remove(0);
+            now = now.max(end);
+            cluster.finish(job);
+            for s in cluster.schedule(TimePoint::from_secs(now)) {
+                running.push((s.job, now + s.runtime.as_secs()));
+                running.sort_by(|a, b| a.1.total_cmp(&b.1));
+            }
+        }
+        prop_assert_eq!(cluster.running_len(), 0);
+        prop_assert_eq!(cluster.free_cores, capacity);
+    }
+
+    /// The one-running-job-per-user constraint holds under any schedule.
+    #[test]
+    fn user_constraint_never_violated(jobs in prop::collection::vec(job_spec(), 1..50)) {
+        let mut cluster = Cluster::new(256, 64);
+        let mut per_user_running: HashMap<u32, u32> = HashMap::new();
+        let mut job_user: HashMap<usize, u32> = HashMap::new();
+        let mut running: Vec<(usize, f64)> = Vec::new();
+        let mut now = 0.0f64;
+
+        for (id, spec) in jobs.iter().enumerate() {
+            job_user.insert(id, spec.user);
+            cluster.submit(QueuedJob {
+                job: id,
+                user: UserId(spec.user),
+                cores: spec.cores,
+                runtime: TimeSpan::from_secs(spec.runtime),
+                submitted: TimePoint::from_secs(now),
+            });
+            for s in cluster.schedule(TimePoint::from_secs(now)) {
+                let u = job_user[&s.job];
+                let n = per_user_running.entry(u).or_insert(0);
+                *n += 1;
+                prop_assert!(*n <= 1, "user {u} running twice");
+                running.push((s.job, now + s.runtime.as_secs()));
+            }
+            // Retire one job occasionally.
+            if running.len() > 4 {
+                running.sort_by(|a, b| a.1.total_cmp(&b.1));
+                let (job, end) = running.remove(0);
+                now = now.max(end);
+                cluster.finish(job);
+                *per_user_running.get_mut(&job_user[&job]).unwrap() -= 1;
+                for s in cluster.schedule(TimePoint::from_secs(now)) {
+                    let u = job_user[&s.job];
+                    let n = per_user_running.entry(u).or_insert(0);
+                    *n += 1;
+                    prop_assert!(*n <= 1);
+                    running.push((s.job, now + s.runtime.as_secs()));
+                }
+            }
+        }
+    }
+
+    /// Disabling backfill (depth 0) never starts a job that FCFS would
+    /// not have started: the set of running jobs under depth 0 is a
+    /// prefix-respecting subset of the queue.
+    #[test]
+    fn fcfs_mode_starts_in_order(jobs in prop::collection::vec(job_spec(), 1..40)) {
+        let mut cluster = Cluster::new(96, 64);
+        cluster.backfill_depth = 0;
+        let mut started_order: Vec<usize> = Vec::new();
+        let now = TimePoint::EPOCH;
+        for (id, spec) in jobs.iter().enumerate() {
+            // One user per job: isolate the FCFS property from the user
+            // constraint.
+            cluster.submit(QueuedJob {
+                job: id,
+                user: UserId(id as u32),
+                cores: spec.cores,
+                runtime: TimeSpan::from_secs(spec.runtime),
+                submitted: now,
+            });
+        }
+        for s in cluster.schedule(now) {
+            started_order.push(s.job);
+        }
+        // Started ids are strictly increasing: no job jumped an earlier
+        // one (pure FCFS head-of-line blocking).
+        prop_assert!(started_order.windows(2).all(|w| w[0] < w[1]));
+        if let Some(&last) = started_order.last() {
+            // Everything before the first *blocked* job started.
+            prop_assert_eq!(started_order.len(), started_order.iter().filter(|&&j| j <= last).count());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Figures 1–2: survey aggregates and the respondent synthesizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_bench::experiments::surveyfig;
+use green_bench::render;
+use green_survey::{synthesize, SurveyMarginals};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (f1, f2) = surveyfig::figures(7);
+    let rows: Vec<Vec<String>> = f1
+        .iter()
+        .map(|r| {
+            vec![
+                r.metric.label().to_string(),
+                r.yes.to_string(),
+                r.no.to_string(),
+                r.not_applicable.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figure 1 (regenerated)",
+            &["Metric", "Yes", "No", "N/A"],
+            &rows
+        )
+    );
+    let rows: Vec<Vec<String>> = f2
+        .iter()
+        .map(|r| {
+            vec![
+                r.factor.label().to_string(),
+                r.not_important.to_string(),
+                r.somewhat.to_string(),
+                r.very_important.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figure 2 (regenerated)",
+            &["Factor", "Not", "Somewhat", "Very"],
+            &rows
+        )
+    );
+    // Energy is the least very-important factor.
+    let energy = f2.last().unwrap();
+    assert_eq!(energy.very_important, 25);
+
+    let marginals = SurveyMarginals::paper();
+    c.bench_function("fig1/synthesize_respondents", |b| {
+        b.iter(|| black_box(synthesize(black_box(&marginals), 7)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 4: application profiles measured through the platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_access::{GreenAccess, Placement, PlatformConfig};
+use green_bench::experiments::platform::figure4;
+use green_bench::render;
+use green_machines::{AppId, TestbedMachine};
+use green_units::Credits;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = figure4();
+    let printed: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.machine.to_string(),
+                format!("{:.2}", r.runtime_s),
+                format!("{:.1}", r.energy_j),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figure 4 (regenerated, platform-measured)",
+            &["App", "Machine", "Runtime (s)", "Energy (J)"],
+            &printed
+        )
+    );
+    // Cascade Lake uses the most energy for every app.
+    for app in AppId::ALL {
+        let cl = rows
+            .iter()
+            .find(|r| r.app == app && r.machine == TestbedMachine::CascadeLake)
+            .unwrap();
+        for r in rows.iter().filter(|r| r.app == app) {
+            if r.machine != TestbedMachine::CascadeLake {
+                assert!(cl.energy_j > r.energy_j * 0.95, "{app} on {}", r.machine);
+            }
+        }
+    }
+
+    // Time a full invocation round-trip (quote → execute → settle).
+    let mut platform = GreenAccess::new(PlatformConfig::default());
+    let token = platform.register_user("bench", Credits::new(1.0e15));
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(20);
+    group.bench_function("platform_invocation", |b| {
+        b.iter(|| {
+            black_box(
+                platform
+                    .invoke(&token, AppId::Mst, 1.0, Placement::Cheapest)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figures 5a–5c: the EBA simulation study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_batchsim::metrics::cost;
+use green_bench::experiments::simulation;
+use green_bench::{render, SimScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let artifacts = simulation::run(SimScale::Tiny, 31);
+    let fig5a: Vec<(String, f64)> = artifacts
+        .fig5a()
+        .iter()
+        .map(|(n, w)| (n.clone(), w / 1.0e3))
+        .collect();
+    println!(
+        "{}",
+        render::bars("Figure 5a (reduced workload)", &fig5a, "k core-h")
+    );
+    let get = |name: &str| fig5a.iter().find(|(n, _)| n == name).map(|x| x.1).unwrap();
+    assert!(
+        get("Greedy") >= get("EFT"),
+        "Greedy completes the most work"
+    );
+    assert!(get("Greedy") > get("ALCF Theta"), "Theta-only is punished");
+    // Energy tracks Greedy closely (the paper: 99%).
+    assert!(get("Energy") > get("Greedy") * 0.80);
+
+    c.bench_function("fig5a/work_within_allocation", |b| {
+        let greedy = artifacts.eba.run("Greedy").unwrap();
+        let allocation = greedy.total_cost(cost::EBA);
+        b.iter(|| black_box(greedy.work_within_allocation(black_box(allocation), cost::EBA)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

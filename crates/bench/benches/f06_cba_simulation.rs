@@ -1,0 +1,59 @@
+//! Figure 6: the CBA simulation study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_batchsim::PlacementTable;
+use green_bench::experiments::simulation;
+use green_bench::{render, SimScale};
+use green_machines::simulation_fleet;
+use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
+use green_workload::{Trace, TraceConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let artifacts = simulation::run(SimScale::Tiny, 31);
+    let fig6: Vec<(String, f64)> = artifacts
+        .fig6()
+        .iter()
+        .map(|(n, w)| (n.clone(), w / 1.0e3))
+        .collect();
+    println!(
+        "{}",
+        render::bars("Figure 6 (reduced workload)", &fig6, "k core-h")
+    );
+    let get = |name: &str| fig6.iter().find(|(n, _)| n == name).map(|x| x.1).unwrap();
+    // Under CBA the Runtime policy gains ground on Energy (the paper:
+    // +23% vs −22%) because the efficient FASTER carries a heavy
+    // embodied-carbon rate.
+    assert!(get("Runtime") > get("Energy"));
+
+    // Time one full Greedy-CBA simulation at tiny scale.
+    let fleet = simulation_fleet();
+    let behaviors: Vec<MachineBehavior> = fleet
+        .iter()
+        .map(|m| MachineBehavior::for_spec(&m.spec))
+        .collect();
+    let predictor = CrossMachinePredictor::train(behaviors, 2, 31);
+    let trace = Trace::generate(&TraceConfig::small(31), &predictor).doubled();
+    let table = PlacementTable::build(&trace, &fleet, &predictor);
+    let scenario = green_batchsim::Scenario::cba(31, 24);
+    c.bench_function("fig6/greedy_cba_simulation", |b| {
+        b.iter(|| {
+            let config = green_batchsim::SimConfig::new(
+                green_batchsim::Policy::Greedy,
+                green_accounting::MethodKind::Cba,
+                24,
+            );
+            let sim = green_batchsim::Simulator::new(
+                black_box(&trace),
+                &scenario.fleet,
+                &table,
+                &scenario.intensity,
+                config,
+            );
+            black_box(sim.run())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figures 7a–7c: the low-carbon-grid scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_bench::experiments::simulation;
+use green_bench::{render, SimScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let artifacts = simulation::run(SimScale::Tiny, 31);
+    let fig7a: Vec<(String, f64)> = artifacts
+        .fig7a()
+        .iter()
+        .map(|(n, w)| (n.clone(), w / 1.0e3))
+        .collect();
+    println!(
+        "{}",
+        render::bars("Figure 7a (reduced workload)", &fig7a, "k core-h")
+    );
+    let get = |name: &str| fig7a.iter().find(|(n, _)| n == name).map(|x| x.1).unwrap();
+    assert!(get("Greedy") >= get("Energy"), "carbon-aware Greedy wins");
+
+    // Figure 7c's headline: the cheapest machine shifts from Theta
+    // (DK-BHM, cheap overnight) to IC (AU-SA, solar midday).
+    let night_theta = artifacts.fig7c[2][3];
+    let noon_ic = artifacts.fig7c[13][2];
+    assert!(
+        noon_ic > 0.8,
+        "AU-SA solar should make IC dominant at midday: {noon_ic:.2}"
+    );
+    assert!(
+        night_theta > 0.2,
+        "DK-BHM wind should favour Theta overnight: {night_theta:.2}"
+    );
+
+    c.bench_function("fig7c/cheapest_by_hour", |b| {
+        let scenario = green_batchsim::Scenario::low_carbon(31, 24);
+        // Rebuild a placement table against the scenario fleet.
+        let behaviors: Vec<green_perfmodel::MachineBehavior> = scenario
+            .fleet
+            .iter()
+            .map(|m| green_perfmodel::MachineBehavior::for_spec(&m.spec))
+            .collect();
+        let predictor = green_perfmodel::CrossMachinePredictor::train(behaviors, 2, 31);
+        let trace =
+            green_workload::Trace::generate(&green_workload::TraceConfig::small(31), &predictor);
+        let table = green_batchsim::PlacementTable::build(&trace, &scenario.fleet, &predictor);
+        b.iter(|| black_box(scenario.cheapest_by_hour(&trace, &table, 50, 2)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figures 9a–9c: the user study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_bench::experiments::study;
+use green_bench::render;
+use green_userstudy::{AgentProfile, Game, Version};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (study_run, analysis) = study::run_full();
+    let rows: Vec<Vec<String>> = analysis
+        .summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.version.to_string(),
+                s.instances.to_string(),
+                format!("{:.1}", s.mean_energy_kwh),
+                format!("{:.1}", s.mean_jobs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figures 9a/9b (regenerated)",
+            &["Version", "Instances", "Energy (kWh)", "Jobs"],
+            &rows
+        )
+    );
+    println!(
+        "discarded fast instances: {} | p(V3 vs V1) = {:.4} | p(V2 vs V1) = {:.3}",
+        study_run.discarded_fast, analysis.p_v3_vs_v1, analysis.p_v2_vs_v1
+    );
+    let v1 = analysis.summary(Version::V1).mean_energy_kwh;
+    let v3 = analysis.summary(Version::V3).mean_energy_kwh;
+    assert!(v3 < v1 * 0.85, "EBA must cut energy: {v1:.1} -> {v3:.1}");
+    assert!(
+        analysis.p_v2_vs_v1 > 0.05,
+        "energy display alone: no effect"
+    );
+
+    let profile = AgentProfile::population(1, 3)[0];
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(30);
+    group.bench_function("one_game_play", |b| {
+        b.iter(|| {
+            let mut game = Game::new(Version::V3);
+            profile.play(&mut game, black_box(42));
+            black_box(game.energy_used_kwh())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 10: run probability vs job energy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_bench::experiments::study;
+use green_bench::render;
+use green_userstudy::StudyAnalysis;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (study_run, analysis) = study::run_full();
+    let rows: Vec<Vec<String>> = analysis
+        .run_probability
+        .iter()
+        .map(|(version, points, r)| {
+            vec![
+                version.to_string(),
+                points.len().to_string(),
+                format!("{r:.3}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Figure 10 (regenerated): energy vs run-probability correlation",
+            &["Version", "Jobs", "Pearson r"],
+            &rows
+        )
+    );
+    // The decision to run a job is not driven by its energy.
+    for (version, _, r) in &analysis.run_probability {
+        assert!(
+            r.abs() < 0.5,
+            "{version}: |r| = {:.2} should be weak",
+            r.abs()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("study_analysis", |b| {
+        b.iter(|| black_box(StudyAnalysis::of(black_box(&study_run))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

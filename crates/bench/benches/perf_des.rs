@@ -1,0 +1,56 @@
+//! Performance benchmarks for the discrete-event simulator core.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use green_batchsim::cluster::{Cluster, QueuedJob};
+use green_batchsim::event::{EventKind, EventQueue};
+use green_units::{TimePoint, TimeSpan};
+use green_workload::UserId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter times deterministically.
+                let t = ((i * 2_654_435_761) % 100_000) as f64;
+                q.push(TimePoint::from_secs(t), EventKind::Arrival(i as usize));
+            }
+            let mut acc = 0.0;
+            while let Some(e) = q.pop() {
+                acc += e.at.as_secs();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("cluster_schedule_2k_jobs", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(4_096, 4_096);
+            let mut finished = 0usize;
+            for i in 0..2_000usize {
+                cluster.submit(QueuedJob {
+                    job: i,
+                    user: UserId((i % 97) as u32),
+                    cores: 16 + (i % 7) as u32 * 16,
+                    runtime: TimeSpan::from_secs(100.0 + (i % 13) as f64 * 50.0),
+                    submitted: TimePoint::from_secs(i as f64),
+                });
+                let started = cluster.schedule(TimePoint::from_secs(i as f64));
+                // Finish everything started to keep the pool cycling.
+                for s in started {
+                    cluster.finish(s.job);
+                    finished += 1;
+                }
+            }
+            black_box(finished)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

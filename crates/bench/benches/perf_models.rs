@@ -1,0 +1,88 @@
+//! Performance benchmarks for the modelling substrates: GMM, KNN, the
+//! power-model fit and the telemetry monitor.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use green_machines::simulation_fleet;
+use green_perfmodel::{CrossMachinePredictor, GaussianMixture, MachineBehavior};
+use green_telemetry::{EndpointMonitor, NodeSampler, PowerModelFitter, RunningTask, TaskId};
+use green_units::{Power, TimeSpan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // GMM fit on a counter-sized corpus.
+    let machines: Vec<MachineBehavior> = simulation_fleet()
+        .iter()
+        .map(|m| MachineBehavior::for_spec(&m.spec))
+        .collect();
+    let predictor = CrossMachinePredictor::train(machines.clone(), 2, 7);
+    let mut rng = StdRng::seed_from_u64(3);
+    let corpus: Vec<Vec<f64>> = (0..800)
+        .map(|_| predictor.sample_counters(&mut rng).features())
+        .collect();
+
+    let mut group = c.benchmark_group("models");
+    group.sample_size(20);
+    group.bench_function("gmm_fit_800x2_k3", |b| {
+        b.iter(|| black_box(GaussianMixture::fit(black_box(&corpus), 3, 5, 100)))
+    });
+
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("knn_predict_100", |b| {
+        let queries: Vec<_> = (0..100)
+            .map(|_| predictor.sample_counters(&mut rng))
+            .collect();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += predictor.predict(black_box(q))[0].runtime_ratio;
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("power_model_fit_256", |b| {
+        let mut fitter = PowerModelFitter::new(256, 1e-4);
+        for i in 0..256 {
+            let ips = 1.0e9 + (i % 31) as f64 * 1.0e8;
+            let llc = 1.0e6 + (i % 17) as f64 * 3.0e5;
+            fitter.observe([ips, llc], Power::from_watts(40.0 + 8.0e-9 * ips));
+        }
+        b.iter(|| black_box(fitter.fit()))
+    });
+
+    group.throughput(Throughput::Elements(500));
+    group.bench_function("monitor_ingest_500_windows", |b| {
+        b.iter(|| {
+            let idle = Power::from_watts(100.0);
+            let mut sampler = NodeSampler::new(5, idle, TimeSpan::from_secs(1.0), 0.01);
+            let mut monitor = EndpointMonitor::new(idle, 16);
+            let tasks = [
+                RunningTask {
+                    task: TaskId(1),
+                    cores: 8,
+                    power: Power::from_watts(40.0),
+                    ips: 2.0e9,
+                    llc_mps: 2.0e6,
+                },
+                RunningTask {
+                    task: TaskId(2),
+                    cores: 8,
+                    power: Power::from_watts(60.0),
+                    ips: 3.0e9,
+                    llc_mps: 1.0e6,
+                },
+            ];
+            for _ in 0..500 {
+                let w = sampler.sample_window(&tasks);
+                monitor.ingest(&w);
+            }
+            black_box(monitor.finish_task(TaskId(1)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

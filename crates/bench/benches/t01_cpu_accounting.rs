@@ -1,0 +1,60 @@
+//! Table 1: accounting-method pricing on the CPU testbed.
+//!
+//! Prints the regenerated table once, asserts the paper's orderings, and
+//! times the pure pricing path (all five methods over the testbed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_accounting::MethodKind;
+use green_bench::experiments::platform::{table1, table1_context};
+use green_bench::render;
+use green_machines::TestbedMachine;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = table1();
+    let printed: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.machine.to_string(),
+                format!("{:.2}", r.runtime_s),
+                format!("{:.1}", r.energy_j),
+                format!("{:.2}", r.eba),
+                format!("{:.2}", r.cba),
+                format!("{:.2}", r.peak),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Table 1 (regenerated)",
+            &["Machine", "Runtime", "Energy", "EBA", "CBA", "Peak"],
+            &printed
+        )
+    );
+    assert!(
+        (rows[0].eba - 1.0).abs() < 1e-9,
+        "Desktop cheapest under EBA"
+    );
+    assert!((rows[1].peak - 1.0).abs() < 1e-9, "CL cheapest under Peak");
+
+    let contexts: Vec<_> = TestbedMachine::ALL
+        .iter()
+        .map(|&m| table1_context(m))
+        .collect();
+    c.bench_function("table1/price_all_methods", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ctx in &contexts {
+                for kind in MethodKind::ALL {
+                    acc += kind.charge(black_box(ctx)).value();
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 2: GPU-node carbon rates under accelerated depreciation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_bench::experiments::gpu::table2;
+use green_bench::render;
+use green_machines::gpu_nodes;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = table2();
+    let printed: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.gpu.clone(),
+                r.count.to_string(),
+                format!("{:.1}", r.carbon_rate),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table("Table 2 (regenerated)", &["GPU", "#", "gCO2e/h"], &printed)
+    );
+    let a100_8 = rows
+        .iter()
+        .find(|r| r.gpu == "A100" && r.count == 8)
+        .unwrap();
+    assert!((a100_8.carbon_rate - 131.0).abs() / 131.0 < 0.08);
+
+    let nodes = gpu_nodes();
+    c.bench_function("table2/carbon_rates", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for node in &nodes {
+                acc += node.carbon_rate(black_box(2023)).as_g_per_hour();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

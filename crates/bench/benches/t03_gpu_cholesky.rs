@@ -1,0 +1,49 @@
+//! Table 3: the tiled-Cholesky task-graph simulation across GPU nodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_bench::experiments::gpu::table3;
+use green_bench::render;
+use green_machines::{GpuModel, GpuNode};
+use green_taskgraph::{simulate, CholeskyDag, DeviceFarm};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = table3();
+    let printed: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.outcome.gpu.clone(),
+                r.outcome.count.to_string(),
+                format!("{:.0}", r.outcome.runtime.as_secs()),
+                format!("{:.0}", r.outcome.energy.as_kilojoules()),
+                format!("{:.2}", r.eba),
+                format!("{:.2}", r.cba),
+                format!("{:.2}", r.perf),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Table 3 (regenerated)",
+            &["GPU", "#", "Runtime", "kJ", "EBA", "CBA", "Perf"],
+            &printed
+        )
+    );
+    // Two P100s win under EBA and CBA; one P100 wins under Perf.
+    let p2 = rows
+        .iter()
+        .find(|r| r.outcome.gpu == "P100" && r.outcome.count == 2)
+        .unwrap();
+    assert!((p2.eba - 1.0).abs() < 0.03 && (p2.cba - 1.0).abs() < 0.03);
+
+    let dag = CholeskyDag::paper_problem();
+    let farm = DeviceFarm::new(GpuNode::table2_node(GpuModel::v100(), 4));
+    c.bench_function("table3/simulate_v100x4", |b| {
+        b.iter(|| black_box(simulate(black_box(&dag), black_box(&farm))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

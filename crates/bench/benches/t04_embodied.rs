@@ -1,0 +1,52 @@
+//! Table 4: linear vs accelerated embodied-carbon attribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_bench::experiments::embodied::table4;
+use green_bench::render;
+use green_carbon::{DepreciationSchedule, DoubleDecliningBalance, LinearDepreciation};
+use green_units::CarbonMass;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = table4();
+    let printed: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.machine.to_string(),
+                r.age.to_string(),
+                format!("{:.2}", r.operational_mg),
+                format!("{:.2}", r.linear_mg),
+                format!("{:.2}", r.accelerated_mg),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Table 4 (regenerated, mgCO2e)",
+            &["Machine", "Age", "Operational", "Linear", "Accel."],
+            &printed
+        )
+    );
+    // Accelerated < linear for the old Cascade Lake, > for the new Zen3.
+    assert!(rows[1].accelerated_mg < rows[1].linear_mg);
+    assert!(rows[3].accelerated_mg > rows[3].linear_mg);
+
+    let ddb = DoubleDecliningBalance::standard();
+    let lin = LinearDepreciation::standard();
+    let total = CarbonMass::from_kg(1_080.0);
+    c.bench_function("table4/depreciation_rates", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for year in 0..10u32 {
+                acc += ddb.hourly_rate(black_box(total), year).as_g_per_hour();
+                acc += lin.hourly_rate(black_box(total), year).as_g_per_hour();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 5: the simulation fleet and its grid traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_bench::experiments::embodied::table5;
+use green_bench::render;
+use green_carbon::GridRegion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = table5();
+    let printed: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.year.to_string(),
+                r.cores.to_string(),
+                format!("{:.1}", r.carbon_rate),
+                format!("{:.0}", r.avg_intensity),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Table 5 (regenerated)",
+            &["Machine", "Year", "Cores", "gCO2e/h", "Avg gCO2e/kWh"],
+            &printed
+        )
+    );
+    assert!((rows[0].carbon_rate - 105.2).abs() < 1.1);
+    assert!((rows[3].carbon_rate - 2.0).abs() < 0.1);
+
+    c.bench_function("table5/grid_trace_generation_year", |b| {
+        b.iter(|| black_box(GridRegion::UsTexas.trace(black_box(7), 365)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 6: per-policy energy and carbon totals.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use green_bench::experiments::simulation;
+use green_bench::render;
+use green_bench::SimScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let artifacts = simulation::run(SimScale::Tiny, 31);
+    let rows: Vec<Vec<String>> = artifacts
+        .table6()
+        .iter()
+        .map(|(name, mwh, op, attr)| {
+            vec![
+                name.clone(),
+                format!("{mwh:.1}"),
+                format!("{op:.0}"),
+                format!("{attr:.0}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render::table(
+            "Table 6 (regenerated, reduced workload)",
+            &["Policy", "MWh", "Operational kg", "Attributed kg"],
+            &rows
+        )
+    );
+    // The Energy policy uses the least energy; EFT/Runtime more.
+    let t6 = artifacts.table6();
+    let energy = t6.iter().find(|r| r.0 == "Energy").unwrap().1;
+    let eft = t6.iter().find(|r| r.0 == "EFT").unwrap().1;
+    assert!(energy < eft, "Energy policy must beat EFT on MWh");
+
+    c.bench_function("table6/aggregate_metrics", |b| {
+        b.iter(|| black_box(artifacts.table6()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

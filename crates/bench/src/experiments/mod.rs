@@ -1,0 +1,8 @@
+//! One driver module per experiment family.
+
+pub mod embodied;
+pub mod gpu;
+pub mod platform;
+pub mod simulation;
+pub mod study;
+pub mod surveyfig;

@@ -1,0 +1,44 @@
+//! Figures 9 and 10: the user-study analysis.
+
+use green_userstudy::{Study, StudyAnalysis, StudyConfig};
+
+/// Runs the study at the paper's population size and analyzes it.
+pub fn run_full() -> (Study, StudyAnalysis) {
+    let study = Study::run(StudyConfig::default());
+    let analysis = StudyAnalysis::of(&study);
+    (study, analysis)
+}
+
+/// Runs a reduced study (for benches).
+pub fn run_small(participants: usize, seed: u64) -> (Study, StudyAnalysis) {
+    let study = Study::run(StudyConfig {
+        participants,
+        seed,
+        min_plays: 1,
+        max_plays: 3,
+    });
+    let analysis = StudyAnalysis::of(&study);
+    (study, analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_userstudy::Version;
+
+    #[test]
+    fn full_study_shows_paper_effects() {
+        let (study, analysis) = run_full();
+        assert!(study.records.len() > 100);
+        let v1 = analysis.summary(Version::V1);
+        let v2 = analysis.summary(Version::V2);
+        let v3 = analysis.summary(Version::V3);
+        // V3 < V1 energy, significantly; V2 ≈ V1.
+        assert!(v3.mean_energy_kwh < v1.mean_energy_kwh * 0.85);
+        assert!((v2.mean_energy_kwh - v1.mean_energy_kwh).abs() / v1.mean_energy_kwh < 0.15);
+        assert!(analysis.p_v3_vs_v1 < 0.01);
+        assert!(analysis.p_v2_vs_v1 > 0.05);
+        // V3 completes fewer jobs.
+        assert!(v3.mean_jobs < v1.mean_jobs);
+    }
+}

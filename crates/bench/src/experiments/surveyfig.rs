@@ -1,0 +1,28 @@
+//! Figures 1 and 2: the survey aggregates.
+
+use green_survey::{figure1, figure2, synthesize, Figure1Row, Figure2Row, SurveyMarginals};
+
+/// Regenerates both figures from a synthesized respondent set.
+pub fn figures(seed: u64) -> (Vec<Figure1Row>, Vec<Figure2Row>) {
+    let marginals = SurveyMarginals::paper();
+    let respondents = synthesize(&marginals, seed);
+    (figure1(&respondents), figure2(&respondents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_survey::DecisionFactor;
+
+    #[test]
+    fn figures_regenerate_published_aggregates() {
+        let (f1, f2) = figures(7);
+        assert_eq!(f1.len(), 4);
+        assert_eq!(f2.len(), 8);
+        let energy = f2
+            .iter()
+            .find(|r| r.factor == DecisionFactor::Energy)
+            .unwrap();
+        assert_eq!(energy.very_important, 25);
+    }
+}

@@ -1,0 +1,232 @@
+//! CSV export of experiment artifacts, so the regenerated tables and
+//! figure series can be plotted or diffed outside the repository.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes rows as CSV with minimal quoting (fields containing commas or
+/// quotes are quoted, quotes doubled).
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(
+        file,
+        "{}",
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
+    for row in rows {
+        writeln!(
+            file,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(())
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Exports the core tables and figure series to `dir`. Returns the files
+/// written.
+pub fn export_all(dir: &Path, sim: &crate::SimArtifacts) -> std::io::Result<Vec<String>> {
+    use crate::experiments::{embodied, gpu, platform, surveyfig};
+    let mut written = Vec::new();
+    let mut emit = |name: &str, headers: &[&str], rows: Vec<Vec<String>>| -> std::io::Result<()> {
+        let path = dir.join(name);
+        write_csv(&path, headers, &rows)?;
+        written.push(name.to_string());
+        Ok(())
+    };
+
+    let (f1, f2) = surveyfig::figures(7);
+    emit(
+        "fig1_metric_awareness.csv",
+        &["metric", "yes", "no", "not_applicable"],
+        f1.iter()
+            .map(|r| {
+                vec![
+                    r.metric.label().into(),
+                    r.yes.to_string(),
+                    r.no.to_string(),
+                    r.not_applicable.to_string(),
+                ]
+            })
+            .collect(),
+    )?;
+    emit(
+        "fig2_factor_importance.csv",
+        &["factor", "not_important", "somewhat", "very_important"],
+        f2.iter()
+            .map(|r| {
+                vec![
+                    r.factor.label().into(),
+                    r.not_important.to_string(),
+                    r.somewhat.to_string(),
+                    r.very_important.to_string(),
+                ]
+            })
+            .collect(),
+    )?;
+    emit(
+        "table1_cpu_costs.csv",
+        &["machine", "runtime_s", "energy_j", "eba", "cba", "peak"],
+        platform::table1()
+            .iter()
+            .map(|r| {
+                vec![
+                    r.machine.to_string(),
+                    format!("{:.3}", r.runtime_s),
+                    format!("{:.3}", r.energy_j),
+                    format!("{:.4}", r.eba),
+                    format!("{:.4}", r.cba),
+                    format!("{:.4}", r.peak),
+                ]
+            })
+            .collect(),
+    )?;
+    emit(
+        "table3_gpu_cholesky.csv",
+        &[
+            "gpu",
+            "count",
+            "runtime_s",
+            "energy_kj",
+            "eba",
+            "cba",
+            "perf",
+        ],
+        gpu::table3()
+            .iter()
+            .map(|r| {
+                vec![
+                    r.outcome.gpu.clone(),
+                    r.outcome.count.to_string(),
+                    format!("{:.1}", r.outcome.runtime.as_secs()),
+                    format!("{:.1}", r.outcome.energy.as_kilojoules()),
+                    format!("{:.4}", r.eba),
+                    format!("{:.4}", r.cba),
+                    format!("{:.4}", r.perf),
+                ]
+            })
+            .collect(),
+    )?;
+    emit(
+        "table5_fleet.csv",
+        &[
+            "machine",
+            "year",
+            "cores",
+            "carbon_rate_g_per_h",
+            "avg_intensity",
+        ],
+        embodied::table5()
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.year.to_string(),
+                    r.cores.to_string(),
+                    format!("{:.2}", r.carbon_rate),
+                    format!("{:.0}", r.avg_intensity),
+                ]
+            })
+            .collect(),
+    )?;
+    emit(
+        "fig5a_work_eba.csv",
+        &["policy", "core_hours"],
+        sim.fig5a()
+            .iter()
+            .map(|(n, w)| vec![n.clone(), format!("{w:.1}")])
+            .collect(),
+    )?;
+    emit(
+        "fig6_work_cba.csv",
+        &["policy", "core_hours"],
+        sim.fig6()
+            .iter()
+            .map(|(n, w)| vec![n.clone(), format!("{w:.1}")])
+            .collect(),
+    )?;
+    emit(
+        "fig7c_cheapest_share.csv",
+        &["hour", "faster", "desktop", "ic", "theta"],
+        sim.fig7c
+            .iter()
+            .enumerate()
+            .map(|(h, row)| {
+                let mut out = vec![h.to_string()];
+                out.extend(row.iter().map(|v| format!("{v:.4}")));
+                out
+            })
+            .collect(),
+    )?;
+    emit(
+        "table6_policy_energy.csv",
+        &["policy", "energy_mwh", "operational_kg", "attributed_kg"],
+        sim.table6()
+            .iter()
+            .map(|(n, mwh, op, attr)| {
+                vec![
+                    n.clone(),
+                    format!("{mwh:.2}"),
+                    format!("{op:.1}"),
+                    format!("{attr:.1}"),
+                ]
+            })
+            .collect(),
+    )?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn writes_and_roundtrips_structure() {
+        let dir = std::env::temp_dir().join("green-bench-export-test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()], vec!["2".into(), "z".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("\"x,y\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_all_writes_every_artifact() {
+        let sim = crate::experiments::simulation::run(crate::SimScale::Tiny, 31);
+        let dir = std::env::temp_dir().join("green-bench-export-all");
+        let files = export_all(&dir, &sim).unwrap();
+        assert!(files.len() >= 8, "{files:?}");
+        for f in &files {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

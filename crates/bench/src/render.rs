@@ -1,0 +1,92 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders a fixed-width table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an ASCII bar chart for `(label, value)` series.
+pub fn bars(title: &str, series: &[(String, f64)], unit: &str) -> String {
+    let max = series.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let label_w = series.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    for (label, value) in series {
+        let filled = if max > 0.0 {
+            ((value / max) * 40.0).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$}  {}{} {value:.1} {unit}\n",
+            "#".repeat(filled),
+            " ".repeat(40 - filled.min(40)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            "T",
+            &["a", "long-header"],
+            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
+        );
+        assert!(out.contains("== T =="));
+        assert!(out.contains("long-header"));
+        let lines: Vec<&str> = out.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let out = bars("B", &[("a".into(), 10.0), ("b".into(), 5.0)], "u");
+        let a_hashes = out
+            .lines()
+            .find(|l| l.starts_with('a'))
+            .unwrap()
+            .matches('#')
+            .count();
+        let b_hashes = out
+            .lines()
+            .find(|l| l.starts_with('b'))
+            .unwrap()
+            .matches('#')
+            .count();
+        assert_eq!(a_hashes, 40);
+        assert_eq!(b_hashes, 20);
+    }
+}

@@ -1,0 +1,186 @@
+//! Carbon-intensity sources: `I_f(t)` in gCO2e/kWh as a function of time.
+
+use green_units::{CarbonIntensity, TimePoint, TimeSpan, SECS_PER_HOUR};
+use serde::{Deserialize, Serialize};
+
+/// Anything that can report the grid carbon intensity at a point in virtual
+/// time. The paper retrieves hourly data "assuming the simulation starts in
+/// January 2023"; here the epoch of the virtual clock plays that role.
+pub trait IntensitySource: Send + Sync {
+    /// Intensity at time `t`.
+    fn intensity_at(&self, t: TimePoint) -> CarbonIntensity;
+
+    /// Average intensity over `[from, to]`, sampled hourly (inclusive of the
+    /// starting hour). Falls back to the point value for degenerate ranges.
+    fn mean_intensity(&self, from: TimePoint, to: TimePoint) -> CarbonIntensity {
+        if to <= from {
+            return self.intensity_at(from);
+        }
+        let hours = ((to - from).as_hours().ceil() as usize).max(1);
+        let mut acc = 0.0;
+        for h in 0..=hours {
+            let t = from + TimeSpan::from_hours(h as f64);
+            acc += self.intensity_at(t.min(to)).as_g_per_kwh();
+        }
+        CarbonIntensity::from_g_per_kwh(acc / (hours + 1) as f64)
+    }
+}
+
+/// A flat intensity, e.g. the 53 gCO2e/kWh average the paper uses for the
+/// GPU experiments (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantIntensity(pub CarbonIntensity);
+
+impl ConstantIntensity {
+    /// Builds a constant source from gCO2e/kWh.
+    pub fn new(g_per_kwh: f64) -> Self {
+        ConstantIntensity(CarbonIntensity::from_g_per_kwh(g_per_kwh))
+    }
+}
+
+impl IntensitySource for ConstantIntensity {
+    fn intensity_at(&self, _t: TimePoint) -> CarbonIntensity {
+        self.0
+    }
+}
+
+/// An hourly-resolution intensity trace starting at the simulation epoch.
+///
+/// Lookups use the value of the enclosing hour (step interpolation, matching
+/// how grid APIs publish data). Times beyond the trace wrap around, so a
+/// one-year trace can serve an arbitrarily long simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlyTrace {
+    values: Vec<f64>,
+}
+
+impl HourlyTrace {
+    /// Builds a trace from hourly gCO2e/kWh values. Panics on an empty
+    /// vector or non-finite values — a trace with holes is a configuration
+    /// error, not a runtime condition.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "hourly trace must be non-empty");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "hourly trace values must be finite and non-negative"
+        );
+        HourlyTrace { values }
+    }
+
+    /// Number of hourly samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the trace has no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw hourly values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Arithmetic mean of the trace.
+    pub fn mean(&self) -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Minimum hourly value.
+    pub fn min(&self) -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(self.values.iter().cloned().fold(f64::MAX, f64::min))
+    }
+
+    /// Maximum hourly value.
+    pub fn max(&self) -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(self.values.iter().cloned().fold(f64::MIN, f64::max))
+    }
+
+    /// The 24 values of day `day` (wrapping), for Figure 7b-style plots.
+    pub fn day_profile(&self, day: usize) -> Vec<f64> {
+        (0..24)
+            .map(|h| self.values[(day * 24 + h) % self.values.len()])
+            .collect()
+    }
+}
+
+impl IntensitySource for HourlyTrace {
+    fn intensity_at(&self, t: TimePoint) -> CarbonIntensity {
+        let hour = (t.as_secs().max(0.0) / SECS_PER_HOUR) as usize;
+        CarbonIntensity::from_g_per_kwh(self.values[hour % self.values.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_source_is_flat() {
+        let s = ConstantIntensity::new(53.0);
+        assert_eq!(s.intensity_at(TimePoint::EPOCH).as_g_per_kwh(), 53.0);
+        assert_eq!(
+            s.intensity_at(TimePoint::from_hours(1e6)).as_g_per_kwh(),
+            53.0
+        );
+        assert_eq!(
+            s.mean_intensity(TimePoint::EPOCH, TimePoint::from_hours(48.0))
+                .as_g_per_kwh(),
+            53.0
+        );
+    }
+
+    #[test]
+    fn hourly_trace_steps_and_wraps() {
+        let t = HourlyTrace::new(vec![100.0, 200.0, 300.0]);
+        assert_eq!(
+            t.intensity_at(TimePoint::from_hours(0.5)).as_g_per_kwh(),
+            100.0
+        );
+        assert_eq!(
+            t.intensity_at(TimePoint::from_hours(1.0)).as_g_per_kwh(),
+            200.0
+        );
+        assert_eq!(
+            t.intensity_at(TimePoint::from_hours(2.9)).as_g_per_kwh(),
+            300.0
+        );
+        // Wraps after 3 hours.
+        assert_eq!(
+            t.intensity_at(TimePoint::from_hours(3.2)).as_g_per_kwh(),
+            100.0
+        );
+        assert!((t.mean().as_g_per_kwh() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_intensity_averages_range() {
+        let t = HourlyTrace::new(vec![100.0, 300.0]);
+        let m = t.mean_intensity(TimePoint::EPOCH, TimePoint::from_hours(1.0));
+        assert!((m.as_g_per_kwh() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn day_profile_has_24_entries() {
+        let t = HourlyTrace::new((0..48).map(|h| h as f64).collect());
+        let d1 = t.day_profile(1);
+        assert_eq!(d1.len(), 24);
+        assert_eq!(d1[0], 24.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_trace_rejected() {
+        let _ = HourlyTrace::new(vec![]);
+    }
+
+    #[test]
+    fn negative_time_clamps() {
+        let t = HourlyTrace::new(vec![10.0, 20.0]);
+        assert_eq!(
+            t.intensity_at(TimePoint::from_secs(-5.0)).as_g_per_kwh(),
+            10.0
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Carbon modelling for impact-based HPC accounting.
+//!
+//! Three concerns live here, mirroring Section 3.3 of the paper:
+//!
+//! * **Operational carbon** — the grid's carbon intensity `I_f(t)` at the
+//!   facility, as a function of time. Real deployments read this from grid
+//!   operators or public APIs (Electricity Maps); this crate provides
+//!   deterministic synthetic [`grids`] with realistic diurnal/seasonal
+//!   structure, plus trace containers for replaying recorded data.
+//! * **Embodied carbon** — the manufacturing footprint `C_f` of a machine,
+//!   estimated from hardware specifications by a SCARIF-like parametric
+//!   model ([`embodied`]).
+//! * **Depreciation** — how `C_f` is attributed to jobs over the machine's
+//!   lifetime. The paper argues for accelerated (double-declining-balance)
+//!   depreciation over the standard linear scheme; both are implemented in
+//!   [`depreciation`] and compared in Table 4.
+//!
+//! [`attribution`] combines the three into a per-job carbon footprint, the
+//! quantity CBA charges for.
+
+pub mod attribution;
+pub mod depreciation;
+pub mod embodied;
+pub mod grids;
+pub mod intensity;
+
+pub use attribution::{attribute_job, JobCarbonFootprint};
+pub use depreciation::{DepreciationSchedule, DoubleDecliningBalance, LinearDepreciation};
+pub use embodied::{ChassisClass, EmbodiedCarbonModel, GpuClass, HardwareSpec};
+pub use grids::{GridModel, GridRegion};
+pub use intensity::{ConstantIntensity, HourlyTrace, IntensitySource};

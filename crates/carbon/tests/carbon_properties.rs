@@ -1,0 +1,98 @@
+//! Property tests for the carbon substrate.
+
+use green_carbon::{
+    attribute_job, DepreciationSchedule, DoubleDecliningBalance, EmbodiedCarbonModel, GridRegion,
+    HardwareSpec, IntensitySource, LinearDepreciation,
+};
+use green_units::{CarbonIntensity, CarbonMass, CarbonRate, Energy, TimePoint, TimeSpan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both schedules conserve: Σ yearly allocations + remaining = total.
+    #[test]
+    fn depreciation_telescopes(total_kg in 10.0..10_000.0f64, years in 1u32..12, lifetime in 2u32..10) {
+        let total = CarbonMass::from_kg(total_kg);
+        let ddb = DoubleDecliningBalance { lifetime_years: lifetime };
+        let lin = LinearDepreciation { lifetime_years: lifetime };
+        for schedule in [&ddb as &dyn DepreciationSchedule, &lin] {
+            let allocated: f64 = (0..years)
+                .map(|y| schedule.allocated_to_year(total, y).as_grams())
+                .sum();
+            let remaining = schedule.remaining(total, years).as_grams();
+            prop_assert!(
+                (allocated + remaining - total.as_grams()).abs() < total.as_grams() * 1e-9,
+                "conservation violated"
+            );
+        }
+    }
+
+    /// Accelerated depreciation front-loads: its year-0 charge exceeds
+    /// linear's, and through the first half of the lifetime its remaining
+    /// balance stays below linear's. (Late in long lifetimes pure DDB's
+    /// geometric tail exceeds linear — the reason accounting practice
+    /// switches to straight-line; the paper's schedule does not, and
+    /// neither do we.)
+    #[test]
+    fn ddb_front_loads(total_kg in 1.0..5_000.0f64, lifetime in 3u32..10) {
+        let total = CarbonMass::from_kg(total_kg);
+        let ddb = DoubleDecliningBalance { lifetime_years: lifetime };
+        let lin = LinearDepreciation { lifetime_years: lifetime };
+        prop_assert!(ddb.allocated_to_year(total, 0) > lin.allocated_to_year(total, 0));
+        for y in 1..=lifetime / 2 {
+            prop_assert!(
+                ddb.remaining(total, y).as_grams() <= lin.remaining(total, y).as_grams() + 1e-9
+            );
+        }
+    }
+
+    /// Job attribution is linear in each input.
+    #[test]
+    fn attribution_linear(e in 0.0..100.0f64, i in 0.0..1000.0f64, d in 0.0..100.0f64, r in 0.0..200.0f64, k in 0.1..5.0f64) {
+        let base = attribute_job(
+            Energy::from_kwh(e),
+            CarbonIntensity::from_g_per_kwh(i),
+            TimeSpan::from_hours(d),
+            CarbonRate::from_g_per_hour(r),
+            1.0,
+        );
+        let scaled_energy = attribute_job(
+            Energy::from_kwh(e * k),
+            CarbonIntensity::from_g_per_kwh(i),
+            TimeSpan::from_hours(d),
+            CarbonRate::from_g_per_hour(r),
+            1.0,
+        );
+        prop_assert!(
+            (scaled_energy.operational.as_grams() - base.operational.as_grams() * k).abs()
+                < 1e-6 * (1.0 + base.operational.as_grams() * k)
+        );
+        prop_assert!((scaled_energy.embodied.as_grams() - base.embodied.as_grams()).abs() < 1e-9);
+    }
+
+    /// The embodied model is monotone in every hardware attribute.
+    #[test]
+    fn embodied_monotone(sockets in 1u32..4, cores in 4u32..128, dram in 16u32..1024) {
+        let model = EmbodiedCarbonModel::scarif_like();
+        let base = model.estimate(&HardwareSpec::compute_node(sockets, cores, dram));
+        let more_cores = model.estimate(&HardwareSpec::compute_node(sockets, cores + 16, dram));
+        let more_dram = model.estimate(&HardwareSpec::compute_node(sockets, cores, dram + 64));
+        prop_assert!(more_cores > base);
+        prop_assert!(more_dram > base);
+    }
+
+    /// Grid traces: lookups always fall inside the trace's [min, max],
+    /// and mean_intensity over any window too.
+    #[test]
+    fn trace_lookups_bounded(seed in 0u64..500, hours in 0.0..2_000.0f64) {
+        let trace = GridRegion::AuSouthAustralia.trace(seed, 30);
+        let v = trace.intensity_at(TimePoint::from_hours(hours));
+        prop_assert!(v >= trace.min() && v <= trace.max());
+        let m = trace.mean_intensity(
+            TimePoint::from_hours(hours),
+            TimePoint::from_hours(hours + 24.0),
+        );
+        prop_assert!(m >= trace.min() && m <= trace.max());
+    }
+}

@@ -1,0 +1,301 @@
+//! Fungible allocation accounts and the provider-side transaction ledger.
+//!
+//! An allocation is a grant of credits redeemable on any machine the user
+//! can access (Section 3.1); the accounting method defines the credit
+//! unit. The ledger enforces non-negative balances (admission control) and
+//! keeps an auditable transaction history.
+
+use green_units::{Credits, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Errors surfaced by allocation operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AllocationError {
+    /// The account does not exist.
+    UnknownAccount(String),
+    /// The debit would overdraw the account.
+    InsufficientCredits {
+        /// Account that was charged.
+        account: String,
+        /// Credits requested.
+        requested: Credits,
+        /// Credits available.
+        available: Credits,
+    },
+    /// Negative amounts are rejected outright.
+    NegativeAmount(f64),
+}
+
+impl core::fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocationError::UnknownAccount(a) => write!(f, "unknown account `{a}`"),
+            AllocationError::InsufficientCredits {
+                account,
+                requested,
+                available,
+            } => write!(
+                f,
+                "account `{account}` has {available} but {requested} were requested"
+            ),
+            AllocationError::NegativeAmount(v) => write!(f, "negative amount {v}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// One account's allocation state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Account owner.
+    pub owner: String,
+    /// Credits granted in total.
+    pub granted: Credits,
+    /// Credits spent so far.
+    pub spent: Credits,
+}
+
+impl Allocation {
+    /// Remaining balance.
+    pub fn remaining(&self) -> Credits {
+        self.granted - self.spent
+    }
+
+    /// True when `amount` fits in the remaining balance.
+    pub fn can_afford(&self, amount: Credits) -> bool {
+        amount.value() <= self.remaining().value() + 1e-9
+    }
+
+    /// Fraction of the grant already consumed, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.granted.value() <= 0.0 {
+            1.0
+        } else {
+            (self.spent / self.granted).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// A ledger entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Charged account.
+    pub account: String,
+    /// Amount (positive = debit, negative = refund).
+    pub amount: Credits,
+    /// Virtual time of the charge.
+    pub at: TimePoint,
+    /// Free-form label (job id, machine…).
+    pub label: String,
+}
+
+/// The provider's book of accounts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    accounts: HashMap<String, Allocation>,
+    transactions: Vec<Transaction>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Opens (or tops up) an account.
+    pub fn grant(&mut self, owner: &str, amount: Credits) {
+        let acct = self
+            .accounts
+            .entry(owner.to_string())
+            .or_insert_with(|| Allocation {
+                owner: owner.to_string(),
+                granted: Credits::ZERO,
+                spent: Credits::ZERO,
+            });
+        acct.granted += amount;
+    }
+
+    /// Looks up an account.
+    pub fn account(&self, owner: &str) -> Option<&Allocation> {
+        self.accounts.get(owner)
+    }
+
+    /// True when the account can afford `amount` (admission control).
+    pub fn can_afford(&self, owner: &str, amount: Credits) -> bool {
+        self.accounts
+            .get(owner)
+            .map(|a| a.can_afford(amount))
+            .unwrap_or(false)
+    }
+
+    /// Debits an account; rejects overdrafts and negative amounts.
+    pub fn debit(
+        &mut self,
+        owner: &str,
+        amount: Credits,
+        at: TimePoint,
+        label: impl Into<String>,
+    ) -> Result<(), AllocationError> {
+        if amount.value() < 0.0 {
+            return Err(AllocationError::NegativeAmount(amount.value()));
+        }
+        let acct = self
+            .accounts
+            .get_mut(owner)
+            .ok_or_else(|| AllocationError::UnknownAccount(owner.to_string()))?;
+        if !acct.can_afford(amount) {
+            return Err(AllocationError::InsufficientCredits {
+                account: owner.to_string(),
+                requested: amount,
+                available: acct.remaining(),
+            });
+        }
+        acct.spent += amount;
+        self.transactions.push(Transaction {
+            account: owner.to_string(),
+            amount,
+            at,
+            label: label.into(),
+        });
+        Ok(())
+    }
+
+    /// Refunds a previous charge (e.g. an over-estimated admission hold).
+    pub fn refund(
+        &mut self,
+        owner: &str,
+        amount: Credits,
+        at: TimePoint,
+        label: impl Into<String>,
+    ) -> Result<(), AllocationError> {
+        if amount.value() < 0.0 {
+            return Err(AllocationError::NegativeAmount(amount.value()));
+        }
+        let acct = self
+            .accounts
+            .get_mut(owner)
+            .ok_or_else(|| AllocationError::UnknownAccount(owner.to_string()))?;
+        acct.spent -= amount;
+        if acct.spent.value() < 0.0 {
+            acct.spent = Credits::ZERO;
+        }
+        self.transactions.push(Transaction {
+            account: owner.to_string(),
+            amount: -amount,
+            at,
+            label: label.into(),
+        });
+        Ok(())
+    }
+
+    /// Debits as much of `amount` as the balance allows and returns the
+    /// amount actually charged. Used to settle a completed job whose
+    /// measured cost exceeded the admission hold: the provider collects
+    /// what is left rather than un-running the job.
+    pub fn debit_up_to(
+        &mut self,
+        owner: &str,
+        amount: Credits,
+        at: TimePoint,
+        label: impl Into<String>,
+    ) -> Result<Credits, AllocationError> {
+        if amount.value() < 0.0 {
+            return Err(AllocationError::NegativeAmount(amount.value()));
+        }
+        let remaining = self
+            .accounts
+            .get(owner)
+            .ok_or_else(|| AllocationError::UnknownAccount(owner.to_string()))?
+            .remaining();
+        let charge = amount.min(remaining.max(Credits::ZERO));
+        self.debit(owner, charge, at, label)?;
+        Ok(charge)
+    }
+
+    /// Full transaction history, in order.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Total credits spent across all accounts.
+    pub fn total_spent(&self) -> Credits {
+        self.accounts.values().map(|a| a.spent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_debit_refund_cycle() {
+        let mut ledger = Ledger::new();
+        ledger.grant("alice", Credits::new(100.0));
+        assert!(ledger.can_afford("alice", Credits::new(60.0)));
+        ledger
+            .debit("alice", Credits::new(60.0), TimePoint::EPOCH, "job-1")
+            .unwrap();
+        assert!((ledger.account("alice").unwrap().remaining().value() - 40.0).abs() < 1e-9);
+        ledger
+            .refund(
+                "alice",
+                Credits::new(10.0),
+                TimePoint::EPOCH,
+                "job-1 refund",
+            )
+            .unwrap();
+        assert!((ledger.account("alice").unwrap().remaining().value() - 50.0).abs() < 1e-9);
+        assert_eq!(ledger.transactions().len(), 2);
+    }
+
+    #[test]
+    fn overdraft_rejected() {
+        let mut ledger = Ledger::new();
+        ledger.grant("bob", Credits::new(10.0));
+        let err = ledger
+            .debit("bob", Credits::new(11.0), TimePoint::EPOCH, "big job")
+            .unwrap_err();
+        assert!(matches!(err, AllocationError::InsufficientCredits { .. }));
+        // Balance untouched after the failed debit.
+        assert!((ledger.account("bob").unwrap().remaining().value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_account_and_negative_amounts() {
+        let mut ledger = Ledger::new();
+        assert!(matches!(
+            ledger.debit("ghost", Credits::new(1.0), TimePoint::EPOCH, "x"),
+            Err(AllocationError::UnknownAccount(_))
+        ));
+        ledger.grant("carol", Credits::new(5.0));
+        assert!(matches!(
+            ledger.debit("carol", Credits::new(-1.0), TimePoint::EPOCH, "x"),
+            Err(AllocationError::NegativeAmount(_))
+        ));
+        assert!(!ledger.can_afford("ghost", Credits::new(0.1)));
+    }
+
+    #[test]
+    fn utilization_tracks_spending() {
+        let mut ledger = Ledger::new();
+        ledger.grant("dave", Credits::new(200.0));
+        ledger
+            .debit("dave", Credits::new(50.0), TimePoint::EPOCH, "j")
+            .unwrap();
+        let acct = ledger.account("dave").unwrap();
+        assert!((acct.utilization() - 0.25).abs() < 1e-12);
+        assert!((ledger.total_spent().value() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refund_never_goes_negative() {
+        let mut ledger = Ledger::new();
+        ledger.grant("erin", Credits::new(10.0));
+        ledger
+            .refund("erin", Credits::new(5.0), TimePoint::EPOCH, "oops")
+            .unwrap();
+        assert!((ledger.account("erin").unwrap().spent.value()).abs() < 1e-12);
+    }
+}

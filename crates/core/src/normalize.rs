@@ -1,0 +1,36 @@
+//! Cost normalization, as used in the paper's tables.
+
+/// Normalizes so the minimum becomes 1.0 (Tables 1 and 3 present
+/// "Normalized Costs" this way: the cheapest option reads 1.0). Returns an
+/// empty vector for empty input; all-zero input normalizes to zeros.
+pub fn normalize_min(costs: &[f64]) -> Vec<f64> {
+    let min = costs
+        .iter()
+        .cloned()
+        .filter(|c| c.is_finite() && *c > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !min.is_finite() {
+        return vec![0.0; costs.len()];
+    }
+    costs.iter().map(|c| c / min).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheapest_becomes_one() {
+        let n = normalize_min(&[20.0, 10.0, 15.0]);
+        assert_eq!(n, vec![2.0, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn handles_zeros_and_empty() {
+        assert_eq!(normalize_min(&[]), Vec::<f64>::new());
+        assert_eq!(normalize_min(&[0.0, 0.0]), vec![0.0, 0.0]);
+        // Zeros are skipped when finding the reference.
+        let n = normalize_min(&[0.0, 5.0, 10.0]);
+        assert_eq!(n, vec![0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Access control: token-based user authentication.
+
+use std::collections::HashMap;
+
+/// An opaque API token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token(pub String);
+
+/// The platform's user/token store.
+///
+/// Tokens are deterministic per (user, counter) — good enough for a
+/// simulation platform; a deployment would mint random bearer tokens.
+#[derive(Debug, Default)]
+pub struct AccessControl {
+    tokens: HashMap<Token, String>,
+    minted: u64,
+}
+
+impl AccessControl {
+    /// An empty store.
+    pub fn new() -> Self {
+        AccessControl::default()
+    }
+
+    /// Registers a user and returns their token.
+    pub fn register(&mut self, user: &str) -> Token {
+        self.minted += 1;
+        let token = Token(format!("ga-{:016x}-{}", fxhash(user), self.minted));
+        self.tokens.insert(token.clone(), user.to_string());
+        token
+    }
+
+    /// Resolves a token to its user.
+    pub fn authorize(&self, token: &Token) -> Option<&str> {
+        self.tokens.get(token).map(String::as_str)
+    }
+
+    /// Revokes a token; returns whether it existed.
+    pub fn revoke(&mut self, token: &Token) -> bool {
+        self.tokens.remove(token).is_some()
+    }
+
+    /// Number of live tokens.
+    pub fn active_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_authorize_revoke() {
+        let mut ac = AccessControl::new();
+        let t = ac.register("alice");
+        assert_eq!(ac.authorize(&t), Some("alice"));
+        assert!(ac.revoke(&t));
+        assert_eq!(ac.authorize(&t), None);
+        assert!(!ac.revoke(&t));
+    }
+
+    #[test]
+    fn tokens_are_unique_per_registration() {
+        let mut ac = AccessControl::new();
+        let t1 = ac.register("bob");
+        let t2 = ac.register("bob");
+        assert_ne!(t1, t2);
+        assert_eq!(ac.active_tokens(), 2);
+    }
+
+    #[test]
+    fn unknown_token_rejected() {
+        let ac = AccessControl::new();
+        assert_eq!(ac.authorize(&Token("forged".into())), None);
+    }
+}

@@ -1,0 +1,20 @@
+//! The `green-access` command-line client.
+
+use green_access::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(command) => match cli::execute(command) {
+            Ok(output) => print!("{output}"),
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

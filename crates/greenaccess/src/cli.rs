@@ -1,0 +1,330 @@
+//! Command-line interface logic for the `green-access` binary.
+//!
+//! Parsing lives here (rather than in the binary) so it is unit-testable;
+//! the binary is a thin `main` that feeds `std::env::args` through
+//! [`parse`] and [`execute`].
+
+use green_accounting::MethodKind;
+use green_machines::{AppId, TestbedMachine};
+use green_units::Credits;
+
+use crate::platform::{GreenAccess, Placement, PlatformConfig};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List registered machines and their key specs.
+    Machines,
+    /// Quote an app on every machine under a method.
+    Quote {
+        /// Application to quote.
+        app: AppId,
+        /// Input-size scale.
+        scale: f64,
+        /// Accounting method.
+        method: MethodKind,
+    },
+    /// Run an app one or more times and print receipts.
+    Run {
+        /// Application to run.
+        app: AppId,
+        /// Input-size scale.
+        scale: f64,
+        /// Accounting method.
+        method: MethodKind,
+        /// Pinned machine, or `None` for cheapest.
+        machine: Option<TestbedMachine>,
+        /// Number of invocations.
+        count: u32,
+        /// Allocation to grant the CLI user.
+        budget: f64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse errors carry a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+green-access — impact-based accounting FaaS platform (simulated testbed)
+
+USAGE:
+  green-access machines
+  green-access quote <app> [--scale S] [--method eba|cba|runtime|energy|peak]
+  green-access run <app> [--machine <name>] [--scale S] [--count K]
+                        [--method ...] [--budget N]
+  green-access help
+
+APPS:     cholesky, md, pagerank, matmul, dnaviz, bfs, mst
+MACHINES: desktop, cascade-lake, ice-lake, zen3";
+
+/// Parses an app name.
+pub fn parse_app(name: &str) -> Result<AppId, ParseError> {
+    match name.to_ascii_lowercase().as_str() {
+        "cholesky" => Ok(AppId::Cholesky),
+        "md" => Ok(AppId::Md),
+        "pagerank" => Ok(AppId::Pagerank),
+        "matmul" => Ok(AppId::MatMul),
+        "dnaviz" | "dna-viz" => Ok(AppId::DnaViz),
+        "bfs" => Ok(AppId::Bfs),
+        "mst" => Ok(AppId::Mst),
+        other => Err(ParseError(format!("unknown app `{other}`"))),
+    }
+}
+
+/// Parses a machine name.
+pub fn parse_machine(name: &str) -> Result<TestbedMachine, ParseError> {
+    match name.to_ascii_lowercase().as_str() {
+        "desktop" => Ok(TestbedMachine::Desktop),
+        "cascade-lake" | "cascadelake" | "cl" => Ok(TestbedMachine::CascadeLake),
+        "ice-lake" | "icelake" | "il" => Ok(TestbedMachine::IceLake),
+        "zen3" | "zen" => Ok(TestbedMachine::Zen3),
+        other => Err(ParseError(format!("unknown machine `{other}`"))),
+    }
+}
+
+/// Parses a method name.
+pub fn parse_method(name: &str) -> Result<MethodKind, ParseError> {
+    match name.to_ascii_lowercase().as_str() {
+        "eba" => Ok(MethodKind::eba()),
+        "cba" => Ok(MethodKind::Cba),
+        "runtime" => Ok(MethodKind::Runtime),
+        "energy" => Ok(MethodKind::Energy),
+        "peak" => Ok(MethodKind::Peak),
+        other => Err(ParseError(format!("unknown method `{other}`"))),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(command) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "machines" => Ok(Command::Machines),
+        "quote" => {
+            let app = parse_app(
+                args.get(1)
+                    .ok_or_else(|| ParseError("quote needs an app".into()))?,
+            )?;
+            let scale = flag_value(args, "--scale")
+                .map(|s| s.parse::<f64>().map_err(|e| ParseError(e.to_string())))
+                .transpose()?
+                .unwrap_or(1.0);
+            let method = flag_value(args, "--method")
+                .map(parse_method)
+                .transpose()?
+                .unwrap_or(MethodKind::eba());
+            Ok(Command::Quote { app, scale, method })
+        }
+        "run" => {
+            let app = parse_app(
+                args.get(1)
+                    .ok_or_else(|| ParseError("run needs an app".into()))?,
+            )?;
+            let scale = flag_value(args, "--scale")
+                .map(|s| s.parse::<f64>().map_err(|e| ParseError(e.to_string())))
+                .transpose()?
+                .unwrap_or(1.0);
+            let method = flag_value(args, "--method")
+                .map(parse_method)
+                .transpose()?
+                .unwrap_or(MethodKind::eba());
+            let machine = flag_value(args, "--machine")
+                .map(parse_machine)
+                .transpose()?;
+            let count = flag_value(args, "--count")
+                .map(|s| s.parse::<u32>().map_err(|e| ParseError(e.to_string())))
+                .transpose()?
+                .unwrap_or(1);
+            let budget = flag_value(args, "--budget")
+                .map(|s| s.parse::<f64>().map_err(|e| ParseError(e.to_string())))
+                .transpose()?
+                .unwrap_or(1.0e9);
+            Ok(Command::Run {
+                app,
+                scale,
+                method,
+                machine,
+                count,
+                budget,
+            })
+        }
+        other => Err(ParseError(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Executes a parsed command and returns the printable output.
+pub fn execute(command: Command) -> Result<String, String> {
+    let mut out = String::new();
+    match command {
+        Command::Help => out.push_str(USAGE),
+        Command::Machines => {
+            out.push_str("machine        cores  node TDP  idle W  slice  age(y)  gCO2e/h\n");
+            for machine in TestbedMachine::ALL {
+                let spec = machine.spec();
+                out.push_str(&format!(
+                    "{:<14} {:>5} {:>8.0} {:>7.1} {:>6} {:>7} {:>8.2}\n",
+                    machine.name(),
+                    spec.cores,
+                    spec.node_tdp().as_watts(),
+                    spec.idle_power.as_watts(),
+                    spec.slice_cores,
+                    spec.age_years(green_machines::TESTBED_YEAR),
+                    spec.carbon_rate(green_machines::TESTBED_YEAR)
+                        .as_g_per_hour(),
+                ));
+            }
+        }
+        Command::Quote { app, scale, method } => {
+            let platform = GreenAccess::new(PlatformConfig {
+                method,
+                ..PlatformConfig::default()
+            });
+            out.push_str(&format!("quotes for {app} (scale {scale}, {method}):\n"));
+            for p in platform.predictions().predict_all(app, scale) {
+                out.push_str(&format!(
+                    "  {:<14} {:>7.2}s {:>9.1}J {:>12.4} credits\n",
+                    TestbedMachine::ALL[p.machine].name(),
+                    p.runtime.as_secs(),
+                    p.energy.as_joules(),
+                    p.cost.value(),
+                ));
+            }
+        }
+        Command::Run {
+            app,
+            scale,
+            method,
+            machine,
+            count,
+            budget,
+        } => {
+            let mut platform = GreenAccess::new(PlatformConfig {
+                method,
+                ..PlatformConfig::default()
+            });
+            let token = platform.register_user("cli", Credits::new(budget));
+            let placement = match machine {
+                Some(m) => Placement::On(m),
+                None => Placement::Cheapest,
+            };
+            for _ in 0..count {
+                match platform.invoke(&token, app, scale, placement) {
+                    Ok(receipt) => out.push_str(&format!("{receipt}\n")),
+                    Err(e) => return Err(format!("invocation failed: {e}")),
+                }
+            }
+            out.push_str(&format!(
+                "balance: {:.4} credits\n",
+                platform.balance("cli").unwrap_or(Credits::ZERO).value()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_quote_with_flags() {
+        let cmd = parse(&argv("quote cholesky --scale 2.5 --method cba")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Quote {
+                app: AppId::Cholesky,
+                scale: 2.5,
+                method: MethodKind::Cba,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_run_defaults() {
+        let cmd = parse(&argv("run bfs")).unwrap();
+        match cmd {
+            Command::Run {
+                app,
+                scale,
+                method,
+                machine,
+                count,
+                ..
+            } => {
+                assert_eq!(app, AppId::Bfs);
+                assert_eq!(scale, 1.0);
+                assert_eq!(method, MethodKind::eba());
+                assert_eq!(machine, None);
+                assert_eq!(count, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tokens() {
+        assert!(parse(&argv("quote warp-drive")).is_err());
+        assert!(parse(&argv("run bfs --machine cray")).is_err());
+        assert!(parse(&argv("teleport")).is_err());
+        assert_eq!(parse(&argv("")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn machine_aliases() {
+        assert_eq!(parse_machine("CL").unwrap(), TestbedMachine::CascadeLake);
+        assert_eq!(parse_machine("zen").unwrap(), TestbedMachine::Zen3);
+    }
+
+    #[test]
+    fn execute_machines_lists_testbed() {
+        let out = execute(Command::Machines).unwrap();
+        assert!(out.contains("Cascade Lake"));
+        assert!(out.contains("Zen3"));
+    }
+
+    #[test]
+    fn execute_quote_and_run() {
+        let out = execute(Command::Quote {
+            app: AppId::Mst,
+            scale: 1.0,
+            method: MethodKind::eba(),
+        })
+        .unwrap();
+        assert!(out.contains("Desktop"));
+
+        let out = execute(Command::Run {
+            app: AppId::Mst,
+            scale: 1.0,
+            method: MethodKind::eba(),
+            machine: Some(TestbedMachine::IceLake),
+            count: 2,
+            budget: 1.0e9,
+        })
+        .unwrap();
+        assert_eq!(out.matches("MST on Ice Lake").count(), 2);
+        assert!(out.contains("balance:"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Platform errors.
+
+use green_accounting::AllocationError;
+
+/// Everything that can go wrong on the invocation path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The presented token is unknown or revoked.
+    Unauthorized,
+    /// No machine with that index is registered.
+    UnknownMachine(usize),
+    /// The user cannot afford the admission hold.
+    AdmissionDenied {
+        /// The hold that was requested.
+        hold: f64,
+        /// The balance available.
+        available: f64,
+    },
+    /// The allocation ledger rejected an operation.
+    Allocation(AllocationError),
+    /// An endpoint stopped responding (its thread exited).
+    EndpointDown(usize),
+}
+
+impl core::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlatformError::Unauthorized => write!(f, "unauthorized"),
+            PlatformError::UnknownMachine(i) => write!(f, "unknown machine index {i}"),
+            PlatformError::AdmissionDenied { hold, available } => {
+                write!(
+                    f,
+                    "admission denied: hold {hold:.2} exceeds balance {available:.2}"
+                )
+            }
+            PlatformError::Allocation(e) => write!(f, "allocation error: {e}"),
+            PlatformError::EndpointDown(i) => write!(f, "endpoint {i} is down"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<AllocationError> for PlatformError {
+    fn from(e: AllocationError) -> Self {
+        PlatformError::Allocation(e)
+    }
+}

@@ -1,0 +1,69 @@
+//! **green-ACCESS**: a FaaS-over-HPC platform with impact-based
+//! accounting (Figure 3).
+//!
+//! The three components of the paper's architecture map onto this crate:
+//!
+//! 1. the **frontend** ([`platform::GreenAccess`]) — access control,
+//!    per-user fungible allocations, a prediction service quoting expected
+//!    costs, and admission control before requests are forwarded;
+//! 2. the **endpoints** ([`endpoint`]) — one executor thread per machine
+//!    (the Globus Compute Endpoint stand-in) that runs function
+//!    invocations on simulated hardware and streams RAPL + counter
+//!    telemetry;
+//! 3. the **monitor** ([`monitor`]) — a streaming consumer (the
+//!    Kafka/Faust stand-in is `green_telemetry::Bus`) that fits the power
+//!    model online, disaggregates node energy into per-task energy and
+//!    emits the reports the accounting engine charges from.
+//!
+//! The full invocation lifecycle — authenticate → quote → hold → execute
+//! → measure → settle → receipt — is exercised end to end with real
+//! threads and channels, on virtual time.
+
+pub mod auth;
+pub mod cli;
+pub mod endpoint;
+pub mod error;
+pub mod monitor;
+pub mod platform;
+pub mod predict;
+pub mod receipts;
+pub mod shared;
+
+pub use auth::{AccessControl, Token};
+pub use error::PlatformError;
+pub use platform::{GreenAccess, Placement, PlatformConfig};
+pub use predict::{Prediction, PredictionService};
+pub use receipts::Receipt;
+pub use shared::SharedPlatform;
+
+use green_telemetry::{TaskEnergyReport, TaskId, TelemetryWindow};
+
+/// Messages crossing the platform's topic bus.
+#[derive(Debug, Clone)]
+pub enum PlatformMessage {
+    /// One telemetry window from an endpoint.
+    Telemetry {
+        /// Endpoint index.
+        endpoint: usize,
+        /// The window payload.
+        window: TelemetryWindow,
+    },
+    /// An endpoint finished executing a task.
+    TaskDone {
+        /// Endpoint index.
+        endpoint: usize,
+        /// The finished task.
+        task: TaskId,
+    },
+    /// The monitor's energy verdict for a finished task.
+    Report {
+        /// Endpoint index.
+        endpoint: usize,
+        /// Attributed energy report.
+        report: TaskEnergyReport,
+    },
+    /// Orderly shutdown marker: consumers drain and exit. Needed because
+    /// every component holds a bus handle, so channel disconnection alone
+    /// cannot signal end-of-stream.
+    Shutdown,
+}

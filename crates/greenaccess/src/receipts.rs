@@ -1,0 +1,71 @@
+//! Invocation receipts: what the user sees after a function completes.
+
+use green_accounting::MethodKind;
+use green_carbon::JobCarbonFootprint;
+use green_machines::{AppId, TestbedMachine};
+use green_telemetry::TaskId;
+use green_units::{Credits, Energy, Power, TimeSpan};
+
+/// The settled record of one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Receipt {
+    /// Platform task id.
+    pub task: TaskId,
+    /// Charged account.
+    pub user: String,
+    /// Machine that executed the function.
+    pub machine: TestbedMachine,
+    /// The function.
+    pub app: AppId,
+    /// Input-size scale.
+    pub scale: f64,
+    /// The prediction service's quoted cost.
+    pub predicted_cost: Credits,
+    /// The admission hold taken before execution.
+    pub hold: Credits,
+    /// The final settled charge (measured context priced by the
+    /// platform's method).
+    pub charged: Credits,
+    /// Monitor-attributed energy.
+    pub energy: Energy,
+    /// Measured duration.
+    pub duration: TimeSpan,
+    /// The job's carbon footprint (operational + embodied share).
+    pub footprint: JobCarbonFootprint,
+    /// The accounting method in force.
+    pub method: MethodKind,
+}
+
+impl Receipt {
+    /// Average attributed power over the invocation.
+    pub fn avg_power(&self) -> Power {
+        self.energy.average_power(self.duration)
+    }
+
+    /// Ratio of settled charge to quoted cost (1.0 = perfect prediction).
+    pub fn quote_accuracy(&self) -> f64 {
+        if self.predicted_cost.value() == 0.0 {
+            1.0
+        } else {
+            self.charged / self.predicted_cost
+        }
+    }
+}
+
+impl core::fmt::Display for Receipt {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} | {} on {} | {:.2} s, {:.1} J | charged {:.4} {} credits (quoted {:.4}) | {:.2} mgCO2e",
+            self.task,
+            self.app,
+            self.machine,
+            self.duration.as_secs(),
+            self.energy.as_joules(),
+            self.charged.value(),
+            self.method,
+            self.predicted_cost.value(),
+            self.footprint.total().as_milligrams(),
+        )
+    }
+}

@@ -1,0 +1,4 @@
+//! Shim package: exposes the repository-root `tests/` (cross-crate
+//! integration tests) and `examples/` (runnable binaries) to cargo via
+//! path-redirected targets. See the `[[test]]` and `[[example]]` entries
+//! in this crate's manifest.

@@ -1,0 +1,30 @@
+//! Cross-machine performance and power prediction.
+//!
+//! The paper extrapolates a single-machine job trace to heterogeneous
+//! machines with a two-stage pipeline (after Pham et al.): first a
+//! **Gaussian Mixture Model**, trained on data collected on the
+//! Institutional Cluster, generates realistic hardware-counter vectors for
+//! each trace job; then a **KNN regressor**, trained on a benchmark
+//! corpus measured on every machine, maps counter vectors to per-machine
+//! runtime and power. This crate implements both stages from scratch:
+//!
+//! * [`stats`] — means/variances/quantiles, correlation and rank tests
+//!   shared across the workspace's analysis code;
+//! * [`gmm`] — diagonal-covariance GMM fit by expectation-maximization;
+//! * [`knn`] — z-score-normalized, distance-weighted K-nearest-neighbour
+//!   regression with multi-output targets;
+//! * [`ground_truth`] — the latent machine-behaviour model that generates
+//!   the benchmark corpus (the stand-in for the paper's measurement
+//!   campaign);
+//! * [`predictor`] — the assembled two-stage [`CrossMachinePredictor`].
+
+pub mod gmm;
+pub mod ground_truth;
+pub mod knn;
+pub mod predictor;
+pub mod stats;
+
+pub use gmm::GaussianMixture;
+pub use ground_truth::{compute_intensity, MachineBehavior};
+pub use knn::KnnRegressor;
+pub use predictor::{CrossMachinePredictor, JobCounters, MachinePrediction};

@@ -1,0 +1,236 @@
+//! Small statistics toolbox shared across the workspace.
+//!
+//! Implemented here rather than pulled in as a dependency because the
+//! workspace needs exactly these few primitives, each of which is a page of
+//! textbook code with a property test.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (n−1 denominator). Returns 0 for fewer than two
+/// samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated quantile, `q ∈ [0, 1]`. Returns 0 for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (pos - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median (0.5 quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Pearson product-moment correlation. Returns 0 when either side is
+/// constant or lengths mismatch.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Mid-ranks (ties averaged), 1-based, as used by Spearman and
+/// Mann-Whitney.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Welch's two-sample t statistic and a two-sided p-value (normal
+/// approximation to the t distribution — adequate at the sample sizes the
+/// user study produces).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> (f64, f64) {
+    if a.len() < 2 || b.len() < 2 {
+        return (0.0, 1.0);
+    }
+    let va = variance(a) / a.len() as f64;
+    let vb = variance(b) / b.len() as f64;
+    let se = (va + vb).sqrt();
+    if se == 0.0 {
+        return (0.0, 1.0);
+    }
+    let t = (mean(a) - mean(b)) / se;
+    (t, two_sided_normal_p(t))
+}
+
+/// Two-sided p-value of a standard-normal statistic.
+pub fn two_sided_normal_p(z: f64) -> f64 {
+    (2.0 * (1.0 - normal_cdf(z.abs()))).clamp(0.0, 1.0)
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (|error| < 1.5e-7, plenty for reporting p-values).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / core::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Ordinary least squares of `y = a + b x`; returns `(a, b)`. Zero slope
+/// when x is constant.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return (mean(ys), 0.0);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    if sxx == 0.0 {
+        (my, 0.0)
+    } else {
+        let b = sxy / sxx;
+        (my - b * mx, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_separates_distinct_means() {
+        let a: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 12.0 + (i % 5) as f64 * 0.1).collect();
+        let (t, p) = welch_t_test(&a, &b);
+        assert!(t < -10.0);
+        assert!(p < 1e-6);
+        // Identical samples: no evidence.
+        let (_, p_same) = welch_t_test(&a, &a);
+        assert!(p_same > 0.9);
+    }
+
+    #[test]
+    fn normal_cdf_known_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 - 0.5 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 2.0).abs() < 1e-12);
+        assert!((b + 0.5).abs() < 1e-12);
+    }
+}

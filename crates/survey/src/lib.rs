@@ -1,0 +1,18 @@
+//! The HPC-user sustainability survey (Section 2).
+//!
+//! The paper surveyed 316 HPC users about energy awareness and released
+//! the aggregate data. This crate encodes those published aggregates as
+//! the ground truth ([`marginals`]), synthesizes an individual-level
+//! respondent dataset exactly consistent with them ([`synth`]), and
+//! regenerates Figures 1 and 2 from the synthesized records
+//! ([`figures`]) — the same aggregate view the authors released.
+
+pub mod figures;
+pub mod marginals;
+pub mod questions;
+pub mod synth;
+
+pub use figures::{figure1, figure2, Figure1Row, Figure2Row};
+pub use marginals::SurveyMarginals;
+pub use questions::{CareerStage, DecisionFactor, Importance, Region, SustainabilityMetric};
+pub use synth::{synthesize, Respondent};

@@ -1,0 +1,208 @@
+//! The dmdas-style list scheduler.
+//!
+//! Ready tasks are kept in a priority queue (panel kernels first, earlier
+//! elimination steps first). Devices pull work greedily; every task first
+//! streams its operand tiles over the node's *shared* host link (FIFO),
+//! then computes on its device. The shared link is what caps multi-GPU
+//! scaling, reproducing Table 3's saturation at four devices.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::dag::{CholeskyDag, TaskId};
+use crate::device::DeviceFarm;
+
+/// The outcome of simulating one DAG on one farm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResult {
+    /// Wall-clock makespan in seconds.
+    pub makespan_s: f64,
+    /// Per-device busy (compute) seconds.
+    pub device_busy_s: Vec<f64>,
+    /// Total seconds the shared host link was occupied.
+    pub link_busy_s: f64,
+    /// Tasks executed.
+    pub tasks: usize,
+}
+
+impl ScheduleResult {
+    /// Mean device utilization over the makespan.
+    pub fn device_utilization(&self) -> f64 {
+        if self.makespan_s == 0.0 || self.device_busy_s.is_empty() {
+            return 0.0;
+        }
+        self.device_busy_s.iter().sum::<f64>() / (self.makespan_s * self.device_busy_s.len() as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ReadyTask {
+    priority: (u8, u32), // (kind priority, reversed step)
+    ready_at: f64,
+    id: TaskId,
+}
+
+impl Eq for ReadyTask {}
+
+impl Ord for ReadyTask {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher kind priority first, then earlier step, then
+        // earlier ready time, then id for determinism.
+        self.priority
+            .0
+            .cmp(&other.priority.0)
+            .then(self.priority.1.cmp(&other.priority.1))
+            .then(other.ready_at.total_cmp(&self.ready_at))
+            .then(other.id.0.cmp(&self.id.0))
+    }
+}
+
+impl PartialOrd for ReadyTask {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulates the DAG on the farm; deterministic for identical inputs.
+pub fn simulate(dag: &CholeskyDag, farm: &DeviceFarm) -> ScheduleResult {
+    let n = dag.len();
+    let devices = farm.devices().max(1);
+    let mut indegree: Vec<u32> = vec![0; n];
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for task in &dag.tasks {
+        indegree[task.id.0 as usize] = task.deps.len() as u32;
+        for dep in &task.deps {
+            dependents[dep.0 as usize].push(task.id.0);
+        }
+    }
+
+    let mut ready: BinaryHeap<ReadyTask> = BinaryHeap::new();
+    let mut ready_at: Vec<f64> = vec![0.0; n];
+    for task in &dag.tasks {
+        if task.deps.is_empty() {
+            ready.push(ReadyTask {
+                priority: (task.kind.priority(), u32::MAX - task.step),
+                ready_at: 0.0,
+                id: task.id,
+            });
+        }
+    }
+
+    let mut dev_free = vec![0.0f64; devices];
+    let mut link_free = 0.0f64;
+    let mut link_busy = 0.0f64;
+    let mut dev_busy = vec![0.0f64; devices];
+    let mut finish: Vec<f64> = vec![f64::NAN; n];
+    let mut done = 0usize;
+    let mut makespan = 0.0f64;
+
+    while let Some(rt) = ready.pop() {
+        let task = &dag.tasks[rt.id.0 as usize];
+        // Earliest-available device.
+        let dev = (0..devices)
+            .min_by(|&a, &b| dev_free[a].total_cmp(&dev_free[b]))
+            .expect("at least one device");
+        let transfer = farm.transfer_seconds(task.kind.tiles_moved() as f64 * dag.tile_bytes());
+        let compute = farm.compute_seconds(task.kind.flops(dag.tile_size));
+
+        let transfer_start = link_free.max(rt.ready_at);
+        let transfer_end = transfer_start + transfer;
+        link_free = transfer_end;
+        link_busy += transfer;
+
+        let start = dev_free[dev].max(transfer_end);
+        let end = start + compute;
+        dev_free[dev] = end;
+        dev_busy[dev] += compute;
+        finish[rt.id.0 as usize] = end;
+        makespan = makespan.max(end);
+        done += 1;
+
+        for &dep_id in &dependents[rt.id.0 as usize] {
+            indegree[dep_id as usize] -= 1;
+            if indegree[dep_id as usize] == 0 {
+                let t = &dag.tasks[dep_id as usize];
+                let ready_time = t
+                    .deps
+                    .iter()
+                    .map(|d| finish[d.0 as usize])
+                    .fold(0.0f64, f64::max);
+                ready_at[dep_id as usize] = ready_time;
+                ready.push(ReadyTask {
+                    priority: (t.kind.priority(), u32::MAX - t.step),
+                    ready_at: ready_time,
+                    id: t.id,
+                });
+            }
+        }
+    }
+    assert_eq!(done, n, "DAG must drain completely");
+
+    ScheduleResult {
+        makespan_s: makespan,
+        device_busy_s: dev_busy,
+        link_busy_s: link_busy,
+        tasks: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_machines::{GpuModel, GpuNode};
+
+    fn farm(count: u32) -> DeviceFarm {
+        DeviceFarm::new(GpuNode::table2_node(GpuModel::v100(), count))
+    }
+
+    #[test]
+    fn all_tasks_execute() {
+        let dag = CholeskyDag::new(12, 512);
+        let r = simulate(&dag, &farm(2));
+        assert_eq!(r.tasks, dag.len());
+        assert!(r.makespan_s > 0.0);
+        assert!(r.device_utilization() > 0.0 && r.device_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn more_devices_never_slower() {
+        let dag = CholeskyDag::new(16, 1024);
+        let r1 = simulate(&dag, &farm(1));
+        let r2 = simulate(&dag, &farm(2));
+        let r4 = simulate(&dag, &farm(4));
+        assert!(r2.makespan_s <= r1.makespan_s * 1.001);
+        assert!(r4.makespan_s <= r2.makespan_s * 1.001);
+    }
+
+    #[test]
+    fn scaling_saturates_on_shared_link() {
+        let dag = CholeskyDag::paper_problem();
+        let r4 = simulate(&dag, &farm(4));
+        let r8 = simulate(&dag, &farm(8));
+        let gain = r4.makespan_s / r8.makespan_s;
+        assert!(
+            gain < 1.05,
+            "4→8 GPUs should plateau (Table 3): gain {gain:.3}"
+        );
+    }
+
+    #[test]
+    fn makespan_at_least_link_and_compute_bounds() {
+        let dag = CholeskyDag::new(10, 512);
+        let f = farm(4);
+        let r = simulate(&dag, &f);
+        let total_compute: f64 = dag
+            .tasks
+            .iter()
+            .map(|t| f.compute_seconds(t.kind.flops(dag.tile_size)))
+            .sum();
+        assert!(r.makespan_s + 1e-9 >= r.link_busy_s);
+        assert!(r.makespan_s + 1e-9 >= total_compute / 4.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let dag = CholeskyDag::new(12, 512);
+        assert_eq!(simulate(&dag, &farm(3)), simulate(&dag, &farm(3)));
+    }
+}

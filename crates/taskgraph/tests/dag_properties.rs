@@ -1,0 +1,65 @@
+//! Property tests for the Cholesky DAG and the list scheduler.
+
+use green_machines::{GpuModel, GpuNode};
+use green_taskgraph::{simulate, CholeskyDag, DeviceFarm, KernelKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Task counts follow the closed forms for any grid size.
+    #[test]
+    fn counts_closed_form(t in 1u64..24) {
+        let dag = CholeskyDag::new(t as u32, 128);
+        let t1 = t.saturating_sub(1);
+        let t2 = t.saturating_sub(2);
+        prop_assert_eq!(dag.count(KernelKind::Potrf) as u64, t);
+        prop_assert_eq!(dag.count(KernelKind::Trsm) as u64, t * t1 / 2);
+        prop_assert_eq!(dag.count(KernelKind::Syrk) as u64, t * t1 / 2);
+        prop_assert_eq!(dag.count(KernelKind::Gemm) as u64, t * t1 * t2 / 6);
+        prop_assert_eq!(dag.len() as u64, t + t * t1 + t * t1 * t2 / 6);
+    }
+
+    /// Dependencies always point backwards (topological construction).
+    #[test]
+    fn topological(t in 1u32..20, tile in 64u64..512) {
+        let dag = CholeskyDag::new(t, tile);
+        for task in &dag.tasks {
+            for dep in &task.deps {
+                prop_assert!(dep.0 < task.id.0);
+            }
+        }
+    }
+
+    /// The makespan respects both the aggregate-compute and the
+    /// critical-path lower bounds, for any device count.
+    #[test]
+    fn makespan_lower_bounds(t in 2u32..14, devices in 1u32..8) {
+        let dag = CholeskyDag::new(t, 512);
+        let farm = DeviceFarm::new(GpuNode::table2_node(GpuModel::v100(), devices));
+        let result = simulate(&dag, &farm);
+        let total_compute: f64 = dag
+            .tasks
+            .iter()
+            .map(|task| farm.compute_seconds(task.kind.flops(dag.tile_size)))
+            .sum();
+        prop_assert!(result.makespan_s + 1e-9 >= total_compute / devices as f64);
+        prop_assert!(result.makespan_s + 1e-9 >= result.link_busy_s);
+        // Utilization is a valid fraction.
+        let u = result.device_utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+    }
+
+    /// Adding devices never slows the schedule.
+    #[test]
+    fn devices_monotone(t in 2u32..12) {
+        let dag = CholeskyDag::new(t, 512);
+        let mut last = f64::INFINITY;
+        for devices in [1u32, 2, 4, 8] {
+            let farm = DeviceFarm::new(GpuNode::table2_node(GpuModel::a100(), devices));
+            let result = simulate(&dag, &farm);
+            prop_assert!(result.makespan_s <= last * 1.001);
+            last = result.makespan_s;
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal dense linear algebra for the power model: small symmetric
+//! solves via Gaussian elimination with partial pivoting.
+//!
+//! The power model has 2–4 features, so an O(n³) direct solve is exact and
+//! instantaneous; pulling in a linear-algebra crate for a 3×3 system would
+//! be all dependency and no benefit.
+
+/// Solves `A x = b` in place for a dense square system. Returns `None` when
+/// the matrix is numerically singular (pivot below `1e-12` after scaling).
+pub fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in row + 1..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Solves the ridge-regularized normal equations
+/// `(Xᵀ X + λ I) w = Xᵀ y` for a design matrix given as rows.
+pub fn ridge_regression(rows: &[Vec<f64>], targets: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    let n = rows.first()?.len();
+    if rows.len() != targets.len() || rows.len() < n {
+        return None;
+    }
+    let mut xtx = vec![vec![0.0; n]; n];
+    let mut xty = vec![0.0; n];
+    for (row, &y) in rows.iter().zip(targets) {
+        debug_assert_eq!(row.len(), n);
+        for i in 0..n {
+            xty[i] += row[i] * y;
+            for j in 0..n {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+    solve(&mut xtx, &mut xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let mut a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let mut b = vec![3.0, 5.0];
+        let x = solve(&mut a, &mut b).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve(&mut a, &mut b).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut b = vec![2.0, 3.0];
+        let x = solve(&mut a, &mut b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_recovers_exact_linear_relation() {
+        // y = 2 a + 0.5 b, no noise, tiny lambda.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i) as f64 % 7.0])
+            .collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 0.5 * r[1]).collect();
+        let w = ridge_regression(&rows, &targets, 1e-9).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_requires_enough_rows() {
+        let rows = vec![vec![1.0, 2.0]];
+        let targets = vec![1.0];
+        assert!(ridge_regression(&rows, &targets, 0.1).is_none());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the telemetry pipeline: RAPL deltas, model
+//! recovery and attribution conservation under random task mixes.
+
+use green_telemetry::{
+    EndpointMonitor, NodeSampler, PowerModelFitter, RaplReading, RunningTask, TaskId,
+};
+use green_units::{Power, TimeSpan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The wrap-aware delta reconstructs any sub-wrap energy step.
+    #[test]
+    fn rapl_delta_reconstructs(start in 0u64..(1u64 << 32), step_uj in 0u64..(1u64 << 31)) {
+        let a = RaplReading { cumulative_uj: start };
+        let b = RaplReading {
+            cumulative_uj: (start + step_uj) % (1u64 << 32),
+        };
+        let got = b.delta_since(a).as_joules();
+        prop_assert!((got - step_uj as f64 / 1e6).abs() < 1e-9);
+    }
+
+    /// OLS recovers an arbitrary positive linear power model from
+    /// noiseless observations.
+    #[test]
+    fn power_model_identifies_coefficients(
+        w0 in 0.0..50.0f64,
+        w1 in 1.0e-10..1.0e-8f64,
+        w2 in 1.0e-7..1.0e-5f64,
+    ) {
+        let mut fitter = PowerModelFitter::new(256, 1e-9);
+        for i in 0..96 {
+            // Two incommensurate cycles give a well-conditioned design.
+            let ips = 5.0e8 + 3.0e9 * ((i % 17) as f64 / 17.0);
+            let llc = 2.0e5 + 8.0e6 * ((i % 13) as f64 / 13.0);
+            fitter.observe([ips, llc], Power::from_watts(w0 + w1 * ips + w2 * llc));
+        }
+        let model = fitter.fit().expect("fit succeeds");
+        prop_assert!((model.intercept - w0).abs() < w0.abs() * 1e-3 + 1e-3);
+        prop_assert!((model.weights[0] - w1).abs() < w1 * 1e-3);
+        prop_assert!((model.weights[1] - w2).abs() < w2 * 1e-3);
+    }
+
+    /// Attribution conserves energy: per-task shares sum to measured
+    /// dynamic energy, regardless of the task mix.
+    #[test]
+    fn attribution_conserves_energy(
+        powers in prop::collection::vec(5.0..80.0f64, 1..5),
+        windows in 10u32..40,
+    ) {
+        let idle = Power::from_watts(90.0);
+        let mut sampler = NodeSampler::new(7, idle, TimeSpan::from_secs(1.0), 0.0);
+        let mut monitor = EndpointMonitor::new(idle, 8);
+        let tasks: Vec<RunningTask> = powers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| RunningTask {
+                task: TaskId(i as u64),
+                cores: 4,
+                power: Power::from_watts(p),
+                ips: p * 4.0e7,
+                llc_mps: p * 2.0e4,
+            })
+            .collect();
+        for _ in 0..windows {
+            let w = sampler.sample_window(&tasks);
+            monitor.ingest(&w);
+        }
+        let total_attributed: f64 = (0..powers.len())
+            .map(|i| {
+                monitor
+                    .finish_task(TaskId(i as u64))
+                    .expect("task observed")
+                    .energy
+                    .as_joules()
+            })
+            .sum();
+        // First window seeds the baseline: (windows - 1) attributed.
+        let expected: f64 = powers.iter().sum::<f64>() * (windows - 1) as f64;
+        prop_assert!(
+            (total_attributed - expected).abs() < expected * 1e-6 + 1e-6,
+            "attributed {total_attributed} vs dynamic {expected}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the quantity algebra.
+
+use green_units::*;
+use proptest::prelude::*;
+
+/// A strategy for "reasonable" finite scalars that keeps products away from
+/// overflow and denormals so exact-ish float identities hold.
+fn scalar() -> impl Strategy<Value = f64> {
+    -1.0e9..1.0e9f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1.0e-6..1.0e9f64
+}
+
+proptest! {
+    #[test]
+    fn energy_conversion_roundtrip(j in scalar()) {
+        let e = Energy::from_joules(j);
+        prop_assert!((Energy::from_kwh(e.as_kwh()).as_joules() - j).abs() <= j.abs() * 1e-12 + 1e-9);
+        prop_assert!((Energy::from_wh(e.as_wh()).as_joules() - j).abs() <= j.abs() * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn power_time_energy_consistency(w in positive(), s in positive()) {
+        let e = Power::from_watts(w) * TimeSpan::from_secs(s);
+        let p_back = e / TimeSpan::from_secs(s);
+        prop_assert!((p_back.as_watts() - w).abs() <= w * 1e-12);
+    }
+
+    #[test]
+    fn addition_commutes(a in scalar(), b in scalar()) {
+        let x = Energy::from_joules(a);
+        let y = Energy::from_joules(b);
+        prop_assert_eq!((x + y).as_joules().to_bits(), (y + x).as_joules().to_bits());
+    }
+
+    #[test]
+    fn carbon_mass_scaling_linear(g in positive(), k in 0.0..1000.0f64) {
+        let m = CarbonMass::from_grams(g);
+        prop_assert!(((m * k).as_grams() - g * k).abs() <= (g * k).abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn operational_carbon_monotone_in_energy(e1 in positive(), e2 in positive(), i in positive()) {
+        let lo = Energy::from_joules(e1.min(e2));
+        let hi = Energy::from_joules(e1.max(e2));
+        let grid = CarbonIntensity::from_g_per_kwh(i);
+        prop_assert!((lo * grid).as_grams() <= (hi * grid).as_grams());
+    }
+
+    #[test]
+    fn timepoint_difference_inverts_offset(base in scalar(), d in positive()) {
+        let t0 = TimePoint::from_secs(base);
+        let t1 = t0 + TimeSpan::from_secs(d);
+        prop_assert!(((t1 - t0).as_secs() - d).abs() <= d.abs() * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn hour_of_day_in_range(s in scalar()) {
+        let h = TimePoint::from_secs(s).hour_of_day();
+        prop_assert!((0.0..24.0).contains(&h));
+    }
+
+    #[test]
+    fn core_hours_additive(c1 in 1u32..512, c2 in 1u32..512, h in positive()) {
+        let span = TimeSpan::from_hours(h.min(1.0e5));
+        let combined = CoreHours::from_cores_span(c1, span) + CoreHours::from_cores_span(c2, span);
+        let direct = CoreHours::from_cores_span(c1 + c2, span);
+        prop_assert!((combined.value() - direct.value()).abs() <= direct.value() * 1e-9 + 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints(a in scalar(), b in scalar()) {
+        let x = Credits::new(a);
+        let y = Credits::new(b);
+        prop_assert_eq!(x.lerp(y, 0.0).value().to_bits(), a.to_bits());
+        prop_assert!((x.lerp(y, 1.0).value() - b).abs() <= b.abs() * 1e-12 + 1e-9);
+    }
+}

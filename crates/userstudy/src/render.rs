@@ -1,0 +1,91 @@
+//! ASCII rendering of the game board — the textual equivalent of the
+//! Figure 8 web interface.
+
+use crate::game::Game;
+
+/// Renders the current game state as a text board.
+///
+/// Mirrors the web UI's layout: a status strip (jobs completed,
+/// allocation, time, energy), the queue of visible job cards, and one box
+/// per machine showing what is running.
+pub fn render(game: &Game) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Jobs Completed: {:<3}  Allocation: {:<8.1}  Time Left: {:<4.0}  Energy Used: {:.1}\n",
+        game.completed_jobs().len(),
+        game.allocation_left(),
+        game.time_left(),
+        game.energy_used_kwh(),
+    ));
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+
+    out.push_str("queue: ");
+    let visible = game.visible_jobs();
+    if visible.is_empty() {
+        out.push_str("(empty)");
+    }
+    for job in &visible {
+        out.push_str(&format!(
+            "[job {} · {}c · {}] ",
+            job.id,
+            job.cores,
+            job.priority.label()
+        ));
+    }
+    out.push('\n');
+
+    for machine in 0..4 {
+        let running = game
+            .placements()
+            .iter()
+            .rev()
+            .find(|(_, m)| *m == machine)
+            .filter(|(job, _)| !game.completed_jobs().contains(job) && !game.machine_free(machine))
+            .map(|(job, _)| *job);
+        let slot = match running {
+            Some(job) => format!("running job {job}"),
+            None => "idle".to_string(),
+        };
+        out.push_str(&format!("  Machine {machine}: [{slot}]\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::Version;
+
+    #[test]
+    fn renders_fresh_board() {
+        let game = Game::new(Version::V1);
+        let board = render(&game);
+        assert!(board.contains("Jobs Completed: 0"));
+        assert!(board.contains("job 0"));
+        assert!(board.contains("Machine 3: [idle]"));
+    }
+
+    #[test]
+    fn renders_running_job() {
+        let mut game = Game::new(Version::V2);
+        game.schedule(0, 2).unwrap();
+        let board = render(&game);
+        assert!(board.contains("Machine 2: [running job 0]"));
+        // Queue no longer lists job 0 but shows the newly revealed job 6.
+        assert!(!board.contains("[job 0 ·"));
+        assert!(board.contains("job 6"));
+    }
+
+    #[test]
+    fn completed_job_frees_the_box() {
+        let mut game = Game::new(Version::V1);
+        game.schedule(0, 2).unwrap();
+        for _ in 0..10 {
+            game.advance();
+        }
+        let board = render(&game);
+        assert!(board.contains("Machine 2: [idle]"));
+        assert!(board.contains("Jobs Completed: 1"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The study harness: population, treatment assignment, plays and the
+//! paper's discard rules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::agent::AgentProfile;
+use crate::game::{Game, Version};
+
+/// Study parameters (defaults reproduce the paper's population).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Unique participants (the paper: 90).
+    pub participants: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Minimum plays per participant after familiarization.
+    pub min_plays: usize,
+    /// Maximum plays per participant after familiarization.
+    pub max_plays: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            participants: 90,
+            seed: 2024,
+            min_plays: 1,
+            max_plays: 4,
+        }
+    }
+}
+
+/// One retained game instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameRecord {
+    /// Participant index.
+    pub user: usize,
+    /// Treatment arm of this play.
+    pub version: Version,
+    /// Total energy consumed (kWh).
+    pub energy_kwh: f64,
+    /// Jobs completed.
+    pub jobs_completed: usize,
+    /// Per-script-job flag: did the participant ever see it?
+    pub saw: Vec<bool>,
+    /// Per-script-job flag: did the participant elect to run it
+    /// (schedule it onto a machine)? This is the decision Figure 10
+    /// correlates with job energy.
+    pub ran: Vec<bool>,
+}
+
+/// The executed study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Study {
+    /// Retained instances (familiarization plays and too-fast plays
+    /// discarded).
+    pub records: Vec<GameRecord>,
+    /// Instances discarded for finishing suspiciously fast.
+    pub discarded_fast: usize,
+}
+
+impl Study {
+    /// Runs the full study: every participant plays a familiarization
+    /// round (discarded), then 1–4 scored rounds; the version is fixed
+    /// for the first two plays and randomized afterwards, as in the
+    /// paper. Agents with very low engagement (high hesitation) finish
+    /// implausibly fast and are discarded, mirroring the paper's 15
+    /// sub-minute instances.
+    pub fn run(config: StudyConfig) -> Study {
+        let population = AgentProfile::population(config.participants, config.seed);
+        let results: Vec<(Vec<GameRecord>, usize)> = population
+            .par_iter()
+            .enumerate()
+            .map(|(user, profile)| {
+                let mut rng = StdRng::seed_from_u64(
+                    config.seed ^ (user as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                let assigned = Version::ALL[rng.gen_range(0..3)];
+                let plays = rng.gen_range(config.min_plays..=config.max_plays);
+                let mut records = Vec::new();
+                let mut discarded = 0;
+                // Familiarization play: same version, result discarded.
+                let mut warmup = Game::new(assigned);
+                profile.play(&mut warmup, rng.gen());
+                for p in 0..plays {
+                    // Version fixed between first and second play, then
+                    // randomized.
+                    let version = if p == 0 {
+                        assigned
+                    } else {
+                        Version::ALL[rng.gen_range(0..3)]
+                    };
+                    let mut game = Game::new(version);
+                    profile.play(&mut game, rng.gen());
+                    // Discard implausibly fast instances (the agent gave
+                    // up with most of the clock unused).
+                    if game.elapsed() < 10.0 {
+                        discarded += 1;
+                        continue;
+                    }
+                    let seen = game.seen_jobs().to_vec();
+                    let completed = game.completed_jobs().to_vec();
+                    let scheduled = game.scheduled_jobs().to_vec();
+                    let script_len = 20;
+                    let mut saw = vec![false; script_len];
+                    let mut ran = vec![false; script_len];
+                    for s in seen {
+                        saw[s] = true;
+                    }
+                    for c in &scheduled {
+                        ran[*c] = true;
+                    }
+                    records.push(GameRecord {
+                        user,
+                        version,
+                        energy_kwh: game.energy_used_kwh(),
+                        jobs_completed: completed.len(),
+                        saw,
+                        ran,
+                    });
+                }
+                (records, discarded)
+            })
+            .collect();
+
+        let mut records = Vec::new();
+        let mut discarded_fast = 0;
+        for (r, d) in results {
+            records.extend(r);
+            discarded_fast += d;
+        }
+        Study {
+            records,
+            discarded_fast,
+        }
+    }
+
+    /// Records belonging to one arm.
+    pub fn arm(&self, version: Version) -> Vec<&GameRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.version == version)
+            .collect()
+    }
+
+    /// Number of distinct participants with retained records.
+    pub fn participants(&self) -> usize {
+        let mut users: Vec<usize> = self.records.iter().map(|r| r.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        users.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Study {
+        Study::run(StudyConfig {
+            participants: 24,
+            seed: 5,
+            min_plays: 1,
+            max_plays: 3,
+        })
+    }
+
+    #[test]
+    fn study_produces_records_for_all_arms() {
+        let study = small();
+        assert!(!study.records.is_empty());
+        for v in Version::ALL {
+            assert!(!study.arm(v).is_empty(), "arm {v} should have instances");
+        }
+        assert!(study.participants() <= 24);
+    }
+
+    #[test]
+    fn records_are_consistent() {
+        let study = small();
+        for r in &study.records {
+            assert_eq!(r.saw.len(), 20);
+            assert_eq!(r.ran.len(), 20);
+            // Ran (scheduled) implies saw; completions never exceed
+            // scheduling decisions.
+            for (s, r2) in r.saw.iter().zip(&r.ran) {
+                assert!(*s || !*r2);
+            }
+            assert!(r.jobs_completed <= r.ran.iter().filter(|x| **x).count());
+            assert!(r.energy_kwh >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(small(), small());
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the scheduling game's conservation rules.
+
+use green_userstudy::{AgentProfile, Game, GameError, Version};
+use proptest::prelude::*;
+
+fn version() -> impl Strategy<Value = Version> {
+    prop_oneof![Just(Version::V1), Just(Version::V2), Just(Version::V3),]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// However an agent plays: allocation never goes negative, time never
+    /// goes negative, completions never exceed schedules, and every
+    /// scheduled job was visible at some point.
+    #[test]
+    fn conservation(version in version(), cost in 1.0..3.5f64, time in 0.2..1.2f64, noise in 0.05..0.6f64, seed in 0u64..1_000) {
+        let agent = AgentProfile {
+            cost_sensitivity: cost,
+            time_sensitivity: time,
+            priority_focus: 0.5,
+            noise,
+            hesitation: 0.1,
+        };
+        let mut game = Game::new(version);
+        let initial_allocation = game.allocation_left();
+        agent.play(&mut game, seed);
+
+        prop_assert!(game.allocation_left() >= -1e-9);
+        prop_assert!(game.allocation_left() <= initial_allocation + 1e-9);
+        prop_assert!(game.time_left() >= -1e-9);
+        prop_assert!(game.completed_jobs().len() <= game.scheduled_jobs().len());
+        prop_assert!(game.scheduled_jobs().len() <= 20);
+        for job in game.scheduled_jobs() {
+            prop_assert!(game.seen_jobs().contains(job));
+        }
+        // Scheduled jobs are unique.
+        let mut sched = game.scheduled_jobs().to_vec();
+        sched.sort_unstable();
+        sched.dedup();
+        prop_assert_eq!(sched.len(), game.scheduled_jobs().len());
+        // Energy only accrues when something ran.
+        if game.scheduled_jobs().is_empty() {
+            prop_assert!(game.energy_used_kwh().abs() < 1e-12);
+        }
+    }
+
+    /// Manual misuse of the API is rejected without corrupting state.
+    #[test]
+    fn api_misuse_rejected(version in version()) {
+        let mut game = Game::new(version);
+        // Unknown job.
+        prop_assert_eq!(game.views(19).err(), Some(GameError::UnknownJob));
+        prop_assert_eq!(game.schedule(19, 0).err(), Some(GameError::UnknownJob));
+        // Double-schedule on the same machine.
+        game.schedule(0, 2).unwrap();
+        let err = game.schedule(1, 2).unwrap_err();
+        prop_assert_eq!(err, GameError::AlreadyScheduled);
+        // State still sane.
+        prop_assert_eq!(game.scheduled_jobs().len(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic HPC job traces with the statistical shape of the Patel et al.
+//! per-job energy dataset (IPDPS'20), which the paper's simulation studies
+//! replay.
+//!
+//! The real dataset is 71,190 jobs (after discarding rows without energy)
+//! from two production clusters, doubled to 142,380 by repeating each
+//! execution. Key properties the simulator depends on, all reproduced here:
+//!
+//! * jobs belong to **users**, with a heavy-tailed jobs-per-user
+//!   distribution;
+//! * a user's jobs with the same requested resources are **repetitions of
+//!   the same application** — they share one counter signature (the paper
+//!   exploits exactly this to infer cross-platform characteristics);
+//! * requested cores are small-job dominated: ≈17 % of jobs need more
+//!   cores than the 16-core Desktop offers;
+//! * runtimes are log-normal with a long tail, capped by walltime limits;
+//! * per-job energy on the reference cluster (IC) follows from the job's
+//!   compute intensity via the ground-truth behaviour model, with
+//!   measurement noise.
+
+pub mod job;
+pub mod stats;
+pub mod trace;
+
+pub use job::{Job, JobId, UserId};
+pub use stats::TraceStats;
+pub use trace::{Trace, TraceConfig};

@@ -1,0 +1,78 @@
+//! A tour of the five accounting methods: price the same measured job
+//! under Runtime, Energy, Peak, EBA and CBA on every testbed machine and
+//! see how each method ranks the hardware — the heart of Tables 1 and 3.
+//!
+//! ```text
+//! cargo run --example accounting_tour
+//! ```
+
+use green_accounting::{normalize_min, ChargeContext, MethodKind};
+use green_carbon::GridRegion;
+use green_machines::{AppId, AppProfile, TestbedMachine, TESTBED_YEAR};
+
+fn context(machine: TestbedMachine, app: AppId) -> ChargeContext {
+    let spec = machine.spec();
+    let profile = AppProfile::of(app).on(machine);
+    let cores = app.cores();
+    ChargeContext::new(profile.energy, profile.runtime)
+        .with_cores(cores)
+        .with_provisioned(spec.slice_tdp(cores), spec.provisioned_share(cores))
+        .with_peak(spec.cpu.peak_per_thread)
+        .with_carbon(
+            GridRegion::UsMidwest.trace(7, 30).mean(),
+            spec.carbon_rate(TESTBED_YEAR),
+        )
+}
+
+fn main() {
+    for app in [AppId::Cholesky, AppId::Pagerank] {
+        println!("\n=== {app} ===");
+        println!(
+            "{:<14} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "machine", "runtime", "energy", "RT", "EN", "Peak", "EBA", "CBA"
+        );
+        let contexts: Vec<(TestbedMachine, ChargeContext)> = TestbedMachine::ALL
+            .iter()
+            .map(|&m| (m, context(m, app)))
+            .collect();
+        // Normalize each method so its cheapest machine reads 1.00.
+        let normalized: Vec<Vec<f64>> = MethodKind::ALL
+            .iter()
+            .map(|kind| {
+                normalize_min(
+                    &contexts
+                        .iter()
+                        .map(|(_, c)| kind.charge(c).value())
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for (i, (machine, ctx)) in contexts.iter().enumerate() {
+            println!(
+                "{:<14} {:>8.2}s {:>8.1}J {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+                machine.name(),
+                ctx.duration.as_secs(),
+                ctx.energy.as_joules(),
+                normalized[0][i],
+                normalized[1][i],
+                normalized[2][i],
+                normalized[3][i],
+                normalized[4][i],
+            );
+        }
+        // Who wins under each method?
+        for (kind, norm) in MethodKind::ALL.iter().zip(&normalized) {
+            let winner = contexts
+                .iter()
+                .zip(norm)
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|((m, _), _)| m.name())
+                .unwrap();
+            println!("  cheapest under {:<8}: {winner}", kind.name());
+        }
+    }
+    println!(
+        "\nNote how Peak rewards the machine that burns the most energy, while \
+         EBA/CBA reward the efficient ones — Section 4.2's central observation."
+    );
+}

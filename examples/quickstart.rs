@@ -1,0 +1,52 @@
+//! Quickstart: boot green-ACCESS, register a user with a fungible EBA
+//! allocation, and run a function — first pinned to a machine, then
+//! letting the router pick the cheapest one.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use green_access::{GreenAccess, Placement, PlatformConfig};
+use green_machines::{AppId, TestbedMachine};
+use green_units::Credits;
+
+fn main() {
+    // The platform boots four endpoints (the paper's CPU testbed), a
+    // telemetry bus and the monitor thread.
+    let mut platform = GreenAccess::new(PlatformConfig::default());
+    println!("green-ACCESS up; accounting method: {}", platform.method());
+
+    // Grant an allocation. Under EBA the credit unit is joules.
+    let token = platform.register_user("quickstart-user", Credits::new(50_000.0));
+    println!(
+        "registered quickstart-user with {:.0} J-credits",
+        platform.balance("quickstart-user").unwrap().value()
+    );
+
+    // Run Cholesky pinned to the Cascade Lake node.
+    let receipt = platform
+        .invoke(
+            &token,
+            AppId::Cholesky,
+            1.0,
+            Placement::On(TestbedMachine::CascadeLake),
+        )
+        .expect("invocation succeeds");
+    println!("\npinned run:\n  {receipt}");
+
+    // Now let the router guide us to the cheapest machine.
+    let receipt = platform
+        .invoke(&token, AppId::Cholesky, 1.0, Placement::Cheapest)
+        .expect("invocation succeeds");
+    println!("\nrouted run (cheapest under EBA):\n  {receipt}");
+    println!(
+        "\nthe router saved {:.1}% of the pinned charge",
+        100.0 * (1.0 - receipt.charged.value() / receipt.predicted_cost.value().max(1e-9))
+    );
+
+    println!(
+        "\nremaining balance: {:.0} J-credits over {} transactions",
+        platform.balance("quickstart-user").unwrap().value(),
+        platform.ledger().transactions().len()
+    );
+}

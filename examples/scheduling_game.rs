@@ -1,0 +1,59 @@
+//! Play the user-study scheduling game (Figure 8) with an automated
+//! participant, under all three treatment arms, and watch the EBA price
+//! signal change behaviour.
+//!
+//! ```text
+//! cargo run --example scheduling_game
+//! ```
+
+use green_userstudy::{AgentProfile, Game, Version};
+
+fn main() {
+    let agent = AgentProfile::population(1, 2024)[0];
+    println!(
+        "participant profile: cost sensitivity {:.2}, time sensitivity {:.2}, noise {:.2}\n",
+        agent.cost_sensitivity, agent.time_sensitivity, agent.noise
+    );
+
+    for version in Version::ALL {
+        let mut game = Game::new(version);
+        println!("=== {version} ===");
+        println!(
+            "allocation: {:.1} credits | jobs visible: {}",
+            game.allocation_left(),
+            game.visible_jobs().len()
+        );
+        // Show the price card for the first job.
+        let views = game.views(0).expect("job 0 visible");
+        println!("job 0 price card:");
+        for v in &views {
+            let energy = v
+                .energy_kwh
+                .map(|e| format!("{e:.2} kWh"))
+                .unwrap_or_else(|| "(hidden)".into());
+            println!(
+                "  machine {}: {:>5.1} h, {:>7.2} credits, energy {}{}",
+                v.machine,
+                v.hours,
+                v.cost,
+                energy,
+                if v.eligible { "" } else { "  [too small]" }
+            );
+        }
+
+        agent.play(&mut game, 7);
+        println!(
+            "finished: {} jobs completed, {:.1} kWh used, {:.1} credits left, placements: {:?}\n",
+            game.completed_jobs().len(),
+            game.energy_used_kwh(),
+            game.allocation_left(),
+            game.placements(),
+        );
+    }
+
+    println!(
+        "Under V1/V2 the runtime-priced game funnels jobs to the fast, hungry \
+         cluster; under V3 the same participant spreads onto efficient machines \
+         and uses less energy — Section 6's result, one participant at a time."
+    );
+}

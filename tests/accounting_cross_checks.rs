@@ -1,0 +1,108 @@
+//! Cross-crate accounting invariants: the same contexts priced through
+//! different layers must agree, and exchange-rate conversions must make
+//! allocations comparable across methods.
+
+use green_accounting::{ChargeContext, ExchangeRate, MethodKind};
+use green_carbon::{attribute_job, GridRegion, IntensitySource};
+use green_machines::{AppId, AppProfile, TestbedMachine, TESTBED_YEAR};
+use green_units::{Credits, TimePoint};
+
+fn contexts() -> Vec<ChargeContext> {
+    let intensity = GridRegion::UsMidwest.trace(3, 30);
+    TestbedMachine::ALL
+        .iter()
+        .flat_map(|&machine| {
+            let intensity = &intensity;
+            AppId::ALL.iter().map(move |&app| {
+                let spec = machine.spec();
+                let profile = AppProfile::of(app).on(machine);
+                ChargeContext::new(profile.energy, profile.runtime)
+                    .with_cores(app.cores())
+                    .with_provisioned(
+                        spec.slice_tdp(app.cores()),
+                        spec.provisioned_share(app.cores()),
+                    )
+                    .with_peak(spec.cpu.peak_per_thread)
+                    .with_carbon(
+                        intensity.intensity_at(TimePoint::from_hours(12.0)),
+                        spec.carbon_rate(TESTBED_YEAR),
+                    )
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn cba_charge_equals_attribution_total() {
+    for ctx in contexts() {
+        let charge = MethodKind::Cba.charge(&ctx).value();
+        let footprint = attribute_job(
+            ctx.facility_energy(),
+            ctx.carbon_intensity,
+            ctx.duration,
+            ctx.carbon_rate,
+            ctx.provisioned_share,
+        );
+        assert!((charge - footprint.total().as_grams()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn eba_dominates_half_energy_charge() {
+    // EBA ≥ Energy/2 always (the TDP term is non-negative).
+    for ctx in contexts() {
+        let eba = MethodKind::eba().charge(&ctx).value();
+        let energy = MethodKind::Energy.charge(&ctx).value();
+        assert!(eba + 1e-12 >= energy / 2.0);
+    }
+}
+
+#[test]
+fn exchange_rates_compose() {
+    let sample = contexts();
+    let rt_to_eba =
+        ExchangeRate::estimate(MethodKind::Runtime, MethodKind::eba(), &sample).unwrap();
+    let eba_to_cba = ExchangeRate::estimate(MethodKind::eba(), MethodKind::Cba, &sample).unwrap();
+    let rt_to_cba = ExchangeRate::estimate(MethodKind::Runtime, MethodKind::Cba, &sample).unwrap();
+    let composed = rt_to_eba.rate * eba_to_cba.rate;
+    assert!(
+        (composed - rt_to_cba.rate).abs() / rt_to_cba.rate < 1e-9,
+        "rates must compose: {composed} vs {}",
+        rt_to_cba.rate
+    );
+    // Round-trip through credits.
+    let credits = Credits::new(1_000.0);
+    let there = rt_to_cba.convert(credits);
+    let back = ExchangeRate::estimate(MethodKind::Cba, MethodKind::Runtime, &sample)
+        .unwrap()
+        .convert(there);
+    assert!((back.value() - 1_000.0).abs() < 1e-6);
+}
+
+#[test]
+fn methods_disagree_on_the_best_machine() {
+    // The paper's premise: Peak and EBA rank machines differently for
+    // Cholesky. If they agreed, impact-based accounting would change
+    // nothing.
+    let cholesky: Vec<ChargeContext> = TestbedMachine::ALL
+        .iter()
+        .map(|&machine| {
+            let spec = machine.spec();
+            let profile = AppProfile::of(AppId::Cholesky).on(machine);
+            ChargeContext::new(profile.energy, profile.runtime)
+                .with_cores(8)
+                .with_provisioned(spec.slice_tdp(8), spec.provisioned_share(8))
+                .with_peak(spec.cpu.peak_per_thread)
+        })
+        .collect();
+    let argmin = |kind: MethodKind| {
+        (0..cholesky.len())
+            .min_by(|&a, &b| {
+                kind.charge(&cholesky[a])
+                    .value()
+                    .total_cmp(&kind.charge(&cholesky[b]).value())
+            })
+            .unwrap()
+    };
+    assert_ne!(argmin(MethodKind::eba()), argmin(MethodKind::Peak));
+}

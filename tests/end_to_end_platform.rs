@@ -1,0 +1,87 @@
+//! End-to-end platform integration: the full invoice path across crates —
+//! endpoint telemetry → bus → monitor attribution → accounting → ledger.
+
+use green_access::{GreenAccess, Placement, PlatformConfig, PlatformError};
+use green_accounting::MethodKind;
+use green_machines::{AppId, AppProfile, TestbedMachine};
+use green_units::Credits;
+
+#[test]
+fn invoice_path_is_consistent_across_methods() {
+    for method in [MethodKind::eba(), MethodKind::Cba, MethodKind::Runtime] {
+        let mut platform = GreenAccess::new(PlatformConfig {
+            method,
+            ..PlatformConfig::default()
+        });
+        let token = platform.register_user("it-user", Credits::new(1.0e9));
+        let receipt = platform
+            .invoke(&token, AppId::MatMul, 1.0, Placement::Cheapest)
+            .unwrap();
+        // The settled charge equals what the ledger recorded.
+        let spent = 1.0e9 - platform.balance("it-user").unwrap().value();
+        assert!(
+            (spent - receipt.charged.value()).abs() < 1e-6,
+            "{method}: ledger and receipt disagree"
+        );
+        // Quote accuracy is tight: predictions come from the same
+        // profiles the endpoints replay.
+        assert!(
+            receipt.quote_accuracy() > 0.7 && receipt.quote_accuracy() < 1.3,
+            "{method}: quote accuracy {:.2}",
+            receipt.quote_accuracy()
+        );
+    }
+}
+
+#[test]
+fn energy_attribution_matches_profiles_across_machines() {
+    let mut platform = GreenAccess::new(PlatformConfig::default());
+    let token = platform.register_user("it-user", Credits::new(1.0e9));
+    for machine in TestbedMachine::ALL {
+        let receipt = platform
+            .invoke(&token, AppId::DnaViz, 1.0, Placement::On(machine))
+            .unwrap();
+        let expected = AppProfile::of(AppId::DnaViz).on(machine);
+        let rel = (receipt.energy.as_joules() - expected.energy.as_joules()).abs()
+            / expected.energy.as_joules();
+        assert!(
+            rel < 0.30,
+            "{machine}: attributed {:.1} J vs profile {:.1} J",
+            receipt.energy.as_joules(),
+            expected.energy.as_joules()
+        );
+    }
+}
+
+#[test]
+fn insufficient_allocation_blocks_and_preserves_balance() {
+    let mut platform = GreenAccess::new(PlatformConfig::default());
+    let token = platform.register_user("pauper", Credits::new(10.0));
+    let err = platform
+        .invoke(&token, AppId::Cholesky, 5.0, Placement::Cheapest)
+        .unwrap_err();
+    assert!(matches!(err, PlatformError::AdmissionDenied { .. }));
+    assert!((platform.balance("pauper").unwrap().value() - 10.0).abs() < 1e-9);
+}
+
+#[test]
+fn carbon_footprint_accumulates_on_receipts() {
+    let mut platform = GreenAccess::new(PlatformConfig {
+        method: MethodKind::Cba,
+        ..PlatformConfig::default()
+    });
+    let token = platform.register_user("carbon-user", Credits::new(1.0e9));
+    let mut total = 0.0;
+    for _ in 0..3 {
+        let receipt = platform
+            .invoke(&token, AppId::Bfs, 1.0, Placement::Cheapest)
+            .unwrap();
+        // Under CBA the charge *is* the footprint in grams.
+        assert!(
+            (receipt.charged.value() - receipt.footprint.total().as_grams()).abs()
+                < receipt.footprint.total().as_grams() * 0.01 + 1e-9
+        );
+        total += receipt.footprint.total().as_grams();
+    }
+    assert!(total > 0.0);
+}

@@ -1,0 +1,59 @@
+//! Smoke test: every experiment driver produces its table/figure rows at
+//! reduced scale. This is the fast end-to-end check that `repro` stays
+//! runnable.
+
+use green_bench::experiments::{embodied, gpu, platform, simulation, study, surveyfig};
+use green_bench::SimScale;
+
+#[test]
+fn survey_figures() {
+    let (f1, f2) = surveyfig::figures(7);
+    assert_eq!(f1.len(), 4);
+    assert_eq!(f2.len(), 8);
+}
+
+#[test]
+fn cpu_tables() {
+    let t1 = platform::table1();
+    assert_eq!(t1.len(), 4);
+    let t4 = embodied::table4();
+    assert_eq!(t4.len(), 4);
+    let t5 = embodied::table5();
+    assert_eq!(t5.len(), 4);
+}
+
+#[test]
+fn gpu_tables() {
+    let t2 = gpu::table2();
+    assert_eq!(t2.len(), 10);
+    let t3 = gpu::table3();
+    assert_eq!(t3.len(), 10);
+    // Monotone sanity: the Perf baseline always prefers fewer devices of
+    // the oldest generation.
+    let perf_min = t3.iter().min_by(|a, b| a.perf.total_cmp(&b.perf)).unwrap();
+    assert_eq!(perf_min.outcome.gpu, "P100");
+    assert_eq!(perf_min.outcome.count, 1);
+}
+
+#[test]
+fn simulation_figures() {
+    let artifacts = simulation::run(SimScale::Tiny, 31);
+    assert_eq!(artifacts.fig5a().len(), 8);
+    assert_eq!(artifacts.fig6().len(), 5);
+    assert_eq!(artifacts.fig7a().len(), 5);
+    assert_eq!(artifacts.fig7c.len(), 24);
+    assert!(artifacts.table6().len() >= 6);
+    let curves = artifacts.fig5b(50.0);
+    assert_eq!(curves.len(), 8);
+    for (_, curve) in &curves {
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}
+
+#[test]
+fn study_figures() {
+    let (study_run, analysis) = study::run_small(30, 9);
+    assert!(!study_run.records.is_empty());
+    assert_eq!(analysis.summaries.len(), 3);
+    assert_eq!(analysis.run_probability.len(), 3);
+}
