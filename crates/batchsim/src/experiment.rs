@@ -120,6 +120,7 @@ impl Scenario {
     /// Figure 7c: for each hour of day, the share of jobs whose cheapest
     /// (CBA) machine is each fleet machine, aggregated over `days` days
     /// and a job sample of `sample` jobs.
+    #[allow(clippy::needless_range_loop)]
     pub fn cheapest_by_hour(
         &self,
         trace: &Trace,
@@ -191,6 +192,27 @@ fn default_intensity(fleet: &[FleetMachine], seed: u64) -> Vec<HourlyTrace> {
         .iter()
         .map(|m| m.spec.facility.region.trace(seed, 365))
         .collect()
+}
+
+/// One year of per-machine hourly grid intensity for `fleet`, derived
+/// deterministically from `seed` — the per-replicate state external sweep
+/// drivers (the `green-scenarios` engine) re-derive per cell while
+/// sharing the trace and placement table by reference.
+pub fn intensity_for(fleet: &[FleetMachine], seed: u64) -> Vec<HourlyTrace> {
+    default_intensity(fleet, seed)
+}
+
+/// Reusable single-cell run entry: simulates one policy/method
+/// configuration against shared, borrowed experiment state, without
+/// re-deriving the trace or placement table.
+pub fn run_cell(
+    trace: &Trace,
+    fleet: &[FleetMachine],
+    table: &PlacementTable,
+    intensity: &[HourlyTrace],
+    config: crate::simulator::SimConfig,
+) -> RunMetrics {
+    crate::simulator::Simulator::new(trace, fleet, table, intensity, config).run()
 }
 
 /// All policy runs of one scenario.

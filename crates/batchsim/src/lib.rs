@@ -28,7 +28,7 @@ pub mod policy;
 pub mod profile;
 pub mod simulator;
 
-pub use experiment::{Scenario, ScenarioResults};
+pub use experiment::{intensity_for, run_cell, Scenario, ScenarioResults};
 pub use metrics::{JobOutcome, RunMetrics};
 pub use policy::Policy;
 pub use profile::PlacementTable;

@@ -163,7 +163,7 @@ mod tests {
         JobOutcome {
             job,
             user: 0,
-            machine: (job % 4) as u32,
+            machine: (job % 4),
             cores: 8,
             arrival_s: arrival,
             start_s: arrival + 10.0,

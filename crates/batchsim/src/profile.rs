@@ -56,6 +56,31 @@ impl PlacementTable {
         self.machines
     }
 
+    /// Projects the table onto a fleet subset (`machines` are indices into
+    /// the original fleet, in the order the sub-fleet will use).
+    ///
+    /// The machine-neutral work weight (`mean_ratio`) is deliberately kept
+    /// from the *full* fleet, so "work completed" stays comparable across
+    /// sweep cells that simulate different fleet subsets.
+    pub fn project(&self, machines: &[usize]) -> PlacementTable {
+        assert!(
+            machines.iter().all(|m| *m < self.machines),
+            "projection index out of range"
+        );
+        let archetypes = self.predictions.len() / self.machines;
+        let mut predictions = Vec::with_capacity(archetypes * machines.len());
+        for a in 0..archetypes {
+            for &m in machines {
+                predictions.push(self.predictions[a * self.machines + m]);
+            }
+        }
+        PlacementTable {
+            machines: machines.len(),
+            predictions,
+            mean_ratio: self.mean_ratio.clone(),
+        }
+    }
+
     /// The raw prediction for an archetype on a machine.
     pub fn prediction(&self, archetype: u32, machine: usize) -> &MachinePrediction {
         &self.predictions[archetype as usize * self.machines + machine]
@@ -128,6 +153,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn theta_slowest_on_average() {
         let (trace, fleet, predictor) = setup();
         let table = PlacementTable::build(&trace, &fleet, &predictor);
@@ -138,6 +164,24 @@ mod tests {
             }
         }
         assert!(sums[3] > sums[0] && sums[3] > sums[1] && sums[3] > sums[2]);
+    }
+
+    #[test]
+    fn projection_matches_source_table() {
+        let (trace, fleet, predictor) = setup();
+        let table = PlacementTable::build(&trace, &fleet, &predictor);
+        let sub = table.project(&[2, 0]);
+        assert_eq!(sub.machine_count(), 2);
+        for job in trace.jobs.iter().take(50) {
+            assert_eq!(sub.runtime(job, 0), table.runtime(job, 2));
+            assert_eq!(sub.runtime(job, 1), table.runtime(job, 0));
+            assert_eq!(
+                sub.energy(job, 0).as_joules(),
+                table.energy(job, 2).as_joules()
+            );
+            // Work stays full-fleet-neutral.
+            assert_eq!(sub.work_core_hours(job), table.work_core_hours(job));
+        }
     }
 
     #[test]

@@ -159,8 +159,7 @@ fn bench(c: &mut Criterion) {
         .collect();
     let shift_predictor = CrossMachinePredictor::train(shift_behaviors, 2, 13);
     let shift_trace = Trace::generate(&TraceConfig::small(13), &shift_predictor);
-    let shift_table =
-        PlacementTable::build(&shift_trace, &shift_scenario.fleet, &shift_predictor);
+    let shift_table = PlacementTable::build(&shift_trace, &shift_scenario.fleet, &shift_predictor);
     let shift_results = shift_scenario.run(&shift_trace, &shift_table);
     println!(
         "\n== Ablation — temporal shifting (low-carbon grids, CBA) ==\n{:<18} attributed {:.0} kg\n{:<18} attributed {:.0} kg\n(spatial arbitrage already covers the clean hours — Figure 7c — so the\n delay budget buys little extra)",

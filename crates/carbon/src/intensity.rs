@@ -103,6 +103,42 @@ impl HourlyTrace {
             .map(|h| self.values[(day * 24 + h) % self.values.len()])
             .collect()
     }
+
+    /// A deterministically perturbed copy: every hourly value is scaled by
+    /// `scale` and, when `jitter_sd > 0`, multiplied by a mean-one
+    /// log-normal factor with the given sigma — the knob sensitivity
+    /// sweeps turn to ask "what if this grid were X% dirtier/cleaner, or
+    /// noisier than the recorded year?".
+    pub fn perturbed(&self, scale: f64, jitter_sd: f64, seed: u64) -> HourlyTrace {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "intensity scale must be positive, got {scale}"
+        );
+        assert!(
+            jitter_sd.is_finite() && jitter_sd >= 0.0,
+            "intensity jitter must be non-negative, got {jitter_sd}"
+        );
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9bd1_e7a7_0e2d_4c55);
+        let values = self
+            .values
+            .iter()
+            .map(|v| {
+                let jitter = if jitter_sd > 0.0 {
+                    // Mean-one log-normal multiplier via Box–Muller.
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+                    (jitter_sd * z - jitter_sd * jitter_sd / 2.0).exp()
+                } else {
+                    1.0
+                };
+                v * scale * jitter
+            })
+            .collect();
+        HourlyTrace::new(values)
+    }
 }
 
 impl IntensitySource for HourlyTrace {
@@ -129,6 +165,22 @@ mod tests {
                 .as_g_per_kwh(),
             53.0
         );
+    }
+
+    #[test]
+    fn perturbation_scales_and_is_deterministic() {
+        let t = HourlyTrace::new(vec![100.0; 24 * 30]);
+        let scaled = t.perturbed(1.5, 0.0, 7);
+        assert!(scaled.values().iter().all(|v| (*v - 150.0).abs() < 1e-12));
+        let noisy_a = t.perturbed(1.0, 0.2, 7);
+        let noisy_b = t.perturbed(1.0, 0.2, 7);
+        assert_eq!(noisy_a, noisy_b);
+        assert_ne!(noisy_a, t.perturbed(1.0, 0.2, 8));
+        // Mean-one jitter keeps the average near the original.
+        let mean = noisy_a.mean().as_g_per_kwh();
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+        // Values stay non-negative (HourlyTrace::new asserts it too).
+        assert!(noisy_a.values().iter().all(|v| *v >= 0.0));
     }
 
     #[test]

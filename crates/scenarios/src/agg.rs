@@ -1,0 +1,291 @@
+//! Aggregation of Monte-Carlo replicates into per-cell summary
+//! statistics, and their CSV/table projections.
+
+use std::path::Path;
+
+use crate::runner::CellMetrics;
+use crate::spec::ScenarioSpec;
+
+/// Mean / spread / confidence summary of one metric over replicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Number of replicates.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n = 1).
+    pub stddev: f64,
+    /// Half-width of the 95 % confidence interval of the mean
+    /// (Student's t; 0 for n = 1).
+    pub ci95: f64,
+}
+
+/// Two-sided 95 % Student-t critical values for df 1..=30; beyond that
+/// the normal 1.96 is within half a percent.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+impl Aggregate {
+    /// Computes the summary of `values` (must be non-empty).
+    pub fn of(values: &[f64]) -> Aggregate {
+        assert!(!values.is_empty(), "aggregate of zero replicates");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Aggregate {
+                n,
+                mean,
+                stddev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let stddev = var.sqrt();
+        let df = n - 1;
+        let t = if df <= 30 { T95[df - 1] } else { 1.96 };
+        Aggregate {
+            n,
+            mean,
+            stddev,
+            ci95: t * stddev / (n as f64).sqrt(),
+        }
+    }
+}
+
+/// The aggregated outcome of one grid configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// The configuration (replicate seed zeroed — it is aggregated over).
+    pub spec: ScenarioSpec,
+    /// Jobs completed (mean over replicates; replicates only differ here
+    /// when intensity affects placement feasibility).
+    pub completed: Aggregate,
+    /// Jobs rejected.
+    pub rejected: Aggregate,
+    /// Total energy, MWh.
+    pub energy_mwh: Aggregate,
+    /// Operational carbon, kgCO2e.
+    pub op_carbon_kg: Aggregate,
+    /// Attributed carbon (operational + embodied share), kgCO2e.
+    pub attr_carbon_kg: Aggregate,
+    /// Credits charged under the cell's accounting method.
+    pub credits: Aggregate,
+    /// Mean queue wait, hours.
+    pub mean_wait_h: Aggregate,
+    /// Makespan, hours.
+    pub makespan_h: Aggregate,
+    /// Machine-neutral work completed, core-hours.
+    pub work_core_h: Aggregate,
+    /// Fleet utilization: busy core-time / (capacity × makespan).
+    pub utilization: Aggregate,
+}
+
+impl CellSummary {
+    /// Aggregates the replicates of one configuration.
+    pub fn of(spec: &ScenarioSpec, replicates: &[CellMetrics]) -> CellSummary {
+        let pick = |f: fn(&CellMetrics) -> f64| -> Aggregate {
+            Aggregate::of(&replicates.iter().map(f).collect::<Vec<_>>())
+        };
+        let mut spec = spec.clone();
+        spec.seed = 0;
+        CellSummary {
+            spec,
+            completed: pick(|m| m.completed as f64),
+            rejected: pick(|m| m.rejected as f64),
+            energy_mwh: pick(|m| m.energy_mwh),
+            op_carbon_kg: pick(|m| m.op_carbon_kg),
+            attr_carbon_kg: pick(|m| m.attr_carbon_kg),
+            credits: pick(|m| m.credits),
+            mean_wait_h: pick(|m| m.mean_wait_h),
+            makespan_h: pick(|m| m.makespan_h),
+            work_core_h: pick(|m| m.work_core_h),
+            utilization: pick(|m| m.utilization),
+        }
+    }
+}
+
+/// All aggregated cells of a sweep, in expansion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults {
+    /// Sweep name.
+    pub name: String,
+    /// Replicates per cell.
+    pub replicates: usize,
+    /// One summary per grid configuration, expansion-ordered.
+    pub cells: Vec<CellSummary>,
+}
+
+/// CSV header row for [`SweepResults::csv_rows`].
+pub const CSV_HEADERS: [&str; 28] = [
+    "policy",
+    "method",
+    "fleet",
+    "sim_year",
+    "users",
+    "backfill_depth",
+    "workload_scale",
+    "intensity_scale",
+    "replicates",
+    "completed_mean",
+    "rejected_mean",
+    "energy_mwh_mean",
+    "energy_mwh_std",
+    "energy_mwh_ci95",
+    "op_carbon_kg_mean",
+    "op_carbon_kg_std",
+    "op_carbon_kg_ci95",
+    "attr_carbon_kg_mean",
+    "attr_carbon_kg_std",
+    "attr_carbon_kg_ci95",
+    "credits_mean",
+    "credits_std",
+    "credits_ci95",
+    "mean_wait_h_mean",
+    "mean_wait_h_ci95",
+    "makespan_h_mean",
+    "work_core_h_mean",
+    "utilization_mean",
+];
+
+fn sig(v: f64) -> String {
+    // Fixed formatting keeps CSV output byte-stable across platforms and
+    // thread counts.
+    format!("{v:.6}")
+}
+
+impl SweepResults {
+    /// The CSV rows (one per cell, expansion order).
+    pub fn csv_rows(&self) -> Vec<Vec<String>> {
+        self.cells
+            .iter()
+            .map(|c| {
+                let mut row = c.spec.config_label();
+                row.push(c.completed.n.to_string());
+                row.push(sig(c.completed.mean));
+                row.push(sig(c.rejected.mean));
+                for a in [
+                    &c.energy_mwh,
+                    &c.op_carbon_kg,
+                    &c.attr_carbon_kg,
+                    &c.credits,
+                ] {
+                    row.push(sig(a.mean));
+                    row.push(sig(a.stddev));
+                    row.push(sig(a.ci95));
+                }
+                row.push(sig(c.mean_wait_h.mean));
+                row.push(sig(c.mean_wait_h.ci95));
+                row.push(sig(c.makespan_h.mean));
+                row.push(sig(c.work_core_h.mean));
+                row.push(sig(c.utilization.mean));
+                row
+            })
+            .collect()
+    }
+
+    /// Writes the aggregate CSV through `green-bench`'s export path.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        green_bench::export::write_csv(path, &CSV_HEADERS, &self.csv_rows())
+    }
+
+    /// The full CSV document as a string (headers + rows) — what the
+    /// determinism test compares byte-for-byte.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = CSV_HEADERS.join(",");
+        out.push('\n');
+        for row in self.csv_rows() {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A rendered summary table (headline metrics only).
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.spec.policy.label(),
+                    c.spec.method.label().to_string(),
+                    c.spec
+                        .fleet
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join("+"),
+                    c.spec.users.to_string(),
+                    format!("{:.2}", c.spec.workload_scale),
+                    format!("{:.2}", c.spec.intensity_scale),
+                    format!("{:.0}", c.completed.mean),
+                    format!("{:.2} ± {:.2}", c.energy_mwh.mean, c.energy_mwh.ci95),
+                    format!(
+                        "{:.0} ± {:.0}",
+                        c.attr_carbon_kg.mean, c.attr_carbon_kg.ci95
+                    ),
+                    format!("{:.3e}", c.credits.mean),
+                    format!("{:.2}", c.mean_wait_h.mean),
+                    format!("{:.1}%", c.utilization.mean * 100.0),
+                ]
+            })
+            .collect();
+        green_bench::render::table(
+            &format!(
+                "Sweep `{}` — {} cells × {} replicates",
+                self.name,
+                self.cells.len(),
+                self.replicates
+            ),
+            &[
+                "Policy",
+                "Method",
+                "Fleet",
+                "Users",
+                "W-scale",
+                "I-scale",
+                "Jobs",
+                "Energy (MWh)",
+                "Carbon (kg)",
+                "Credits",
+                "Wait (h)",
+                "Util",
+            ],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_matches_hand_computation() {
+        let a = Aggregate::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.n, 3);
+        assert!((a.mean - 2.0).abs() < 1e-12);
+        assert!((a.stddev - 1.0).abs() < 1e-12);
+        // t(df=2, 95%) = 4.303; ci = 4.303 * 1 / sqrt(3).
+        assert!((a.ci95 - 4.303 / 3f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_replicate_has_zero_spread() {
+        let a = Aggregate::of(&[5.5]);
+        assert_eq!(a.mean, 5.5);
+        assert_eq!(a.stddev, 0.0);
+        assert_eq!(a.ci95, 0.0);
+    }
+
+    #[test]
+    fn wide_samples_use_normal_quantile() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = Aggregate::of(&values);
+        let expected_sd = (values.iter().map(|v| (v - a.mean).powi(2)).sum::<f64>() / 99.0).sqrt();
+        assert!((a.ci95 - 1.96 * expected_sd / 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! The `scenarios` command: run a sweep file end to end.
+//!
+//! ```text
+//! scenarios <sweep.toml> [options]
+//!
+//!   --out <file.csv>   write per-cell aggregates (with CIs) as CSV
+//!   --threads <n>      worker threads (default: all cores)
+//!   --list             print the expanded cells and exit without running
+//!   --quiet            suppress the progress line
+//! ```
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use green_scenarios::{Sweep, SweepRunner};
+
+const USAGE: &str = "\
+scenarios — parallel Monte-Carlo scenario sweeps over the batch simulator
+
+USAGE:
+    scenarios <sweep.toml> [--out <file.csv>] [--threads <n>] [--list] [--quiet]
+
+The sweep file declares a Cartesian grid (policies × methods × fleets ×
+sim-years × users × backfill × workload scale × intensity scale) and a
+set of Monte-Carlo replicate seeds; see examples/sweeps/ in the
+repository for worked specs.
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+
+    let mut sweep_path: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut threads = 0usize;
+    let mut list = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(v) = it.next() else {
+                    fail("--out needs a file path");
+                };
+                out = Some(PathBuf::from(v));
+            }
+            "--threads" => {
+                let Some(v) = it.next() else {
+                    fail("--threads needs a count");
+                };
+                threads = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad thread count `{v}`")));
+            }
+            "--list" => list = true,
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => fail(&format!("unknown option `{other}`")),
+            other => {
+                if sweep_path.replace(PathBuf::from(other)).is_some() {
+                    fail("more than one sweep file given");
+                }
+            }
+        }
+    }
+    let Some(sweep_path) = sweep_path else {
+        fail("no sweep file given");
+    };
+
+    let text = std::fs::read_to_string(&sweep_path).unwrap_or_else(|e| {
+        fail(&format!("cannot read {}: {e}", sweep_path.display()));
+    });
+    let sweep = Sweep::from_toml_str(&text).unwrap_or_else(|e| {
+        fail(&format!("{}: {e}", sweep_path.display()));
+    });
+
+    if list {
+        println!(
+            "sweep `{}`: {} configurations × {} replicates = {} cells",
+            sweep.name,
+            sweep.config_count(),
+            sweep.seeds.len(),
+            sweep.cell_count()
+        );
+        for cell in sweep.expand() {
+            let s = &cell.spec;
+            println!(
+                "  [{:>4}] policy={} method={} fleet={:?} year={} users={} backfill={} wscale={} iscale={} seed={}",
+                cell.index,
+                s.policy.label(),
+                s.method.label(),
+                s.fleet,
+                s.sim_year,
+                s.users,
+                s.backfill_depth,
+                s.workload_scale,
+                s.intensity_scale,
+                s.seed,
+            );
+        }
+        return;
+    }
+
+    let runner = SweepRunner::new(threads);
+    if !quiet {
+        eprintln!(
+            "running sweep `{}`: {} cells on {} threads…",
+            sweep.name,
+            sweep.cell_count(),
+            runner.threads()
+        );
+    }
+    let last_printed = AtomicUsize::new(0);
+    let progress = move |done: usize, total: usize| {
+        // Only one worker wins each milestone print, so the stream stays
+        // readable under parallelism.
+        let prev = last_printed.load(Ordering::Relaxed);
+        if (done == total || done >= prev + (total / 20).max(1))
+            && last_printed
+                .compare_exchange(prev, done, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            eprintln!("  {done}/{total} cells");
+        }
+    };
+    let results = runner.run_with_progress(&sweep, if quiet { None } else { Some(&progress) });
+
+    print!("{}", results.render());
+    if let Some(out) = out {
+        match results.write_csv(&out) {
+            Ok(()) => eprintln!(
+                "wrote {} aggregate rows to {}",
+                results.cells.len(),
+                out.display()
+            ),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", out.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! **green-scenarios**: a declarative, parallel Monte-Carlo scenario
+//! engine over the batch simulator and the five accounting methods.
+//!
+//! The paper's headline results are single scenario instances — one
+//! fleet, one trace, one grid year per policy/method pair. The
+//! interesting sustainability questions are *sensitivity* questions: how
+//! do EBA/CBA incentives hold up across grid mixes, fleet compositions,
+//! workload intensities and user populations? This crate turns those
+//! one-off experiments into a platform:
+//!
+//! * [`ScenarioSpec`] — one fully-resolved cell: policy × accounting
+//!   method × fleet subset × sim-year × user count × backfill depth ×
+//!   workload scaling × intensity perturbation × replicate seed, with a
+//!   builder API;
+//! * [`Sweep`] — the grammar: every axis a list, cells their Cartesian
+//!   product, each replicated over N Monte-Carlo seeds; loadable from
+//!   TOML ([`Sweep::from_toml_str`]) via the vendored mini-parser in
+//!   [`toml`];
+//! * [`SweepRunner`] — the parallel driver: trace and placement tables
+//!   are built once and shared across scoped worker threads by
+//!   reference; per-replicate intensity realizations are derived inside
+//!   workers; slot-per-cell collection makes results **bit-identical for
+//!   every thread count** (asserted by `tests/determinism.rs`);
+//! * [`Aggregate`]/[`SweepResults`] — per-cell mean, standard deviation
+//!   and 95 % confidence intervals over replicates for carbon, credits,
+//!   energy, wait and utilization, exported through `green-bench`'s CSV
+//!   path;
+//! * the `scenarios` binary — `scenarios sweep.toml --out results.csv`
+//!   runs a named sweep file end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use green_scenarios::{MethodSpec, PolicySpec, Sweep, SweepRunner};
+//!
+//! let mut sweep = Sweep::new("doctest");
+//! sweep.policies = vec![PolicySpec::Greedy, PolicySpec::Energy];
+//! sweep.methods = vec![MethodSpec::Eba, MethodSpec::Cba];
+//! sweep.seeds = vec![1, 2];
+//! assert_eq!(sweep.cell_count(), 8);
+//!
+//! let results = SweepRunner::new(2).run(&sweep);
+//! assert_eq!(results.cells.len(), 4);      // 8 cells / 2 replicates
+//! let csv = results.to_csv_string();
+//! assert!(csv.starts_with("policy,method,"));
+//! ```
+
+pub mod agg;
+pub mod runner;
+pub mod spec;
+pub mod sweep;
+pub mod toml;
+
+pub use agg::{Aggregate, CellSummary, SweepResults, CSV_HEADERS};
+pub use runner::{CellMetrics, SweepRunner, SweepWorld};
+pub use spec::{fleet_index, MethodSpec, PolicySpec, ScenarioSpec, SpecError};
+pub use sweep::{Cell, Sweep, WorkloadConfig, WorkloadPreset};

@@ -1,0 +1,428 @@
+//! The parallel sweep runner.
+//!
+//! Expensive state is built **once** and shared by reference across
+//! worker threads:
+//!
+//! * the base [`Trace`] (plus one scaled variant per distinct
+//!   `workload_scale`),
+//! * one projected [`PlacementTable`] per distinct fleet subset,
+//! * the fleet machine specs.
+//!
+//! Only the per-replicate hourly intensity realization is derived inside
+//! a worker (a few thousand floats — regenerating beats synchronizing).
+//! Workers claim cell indices from an atomic counter and write results
+//! into per-index slots, so the assembled output is a pure function of
+//! the sweep spec: **thread count cannot change a single byte** of the
+//! aggregated results, which `tests/determinism.rs` asserts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use green_batchsim::{intensity_for, run_cell, PlacementTable, RunMetrics, SimConfig};
+use green_carbon::HourlyTrace;
+use green_machines::{simulation_fleet, FleetMachine};
+use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
+use green_workload::Trace;
+
+use crate::agg::{CellSummary, SweepResults};
+use crate::spec::ScenarioSpec;
+use crate::sweep::{Cell, Sweep};
+
+/// Scalar metrics extracted from one simulation run (one cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs no machine could take.
+    pub rejected: usize,
+    /// Total energy, MWh.
+    pub energy_mwh: f64,
+    /// Operational carbon, kgCO2e.
+    pub op_carbon_kg: f64,
+    /// Attributed carbon, kgCO2e.
+    pub attr_carbon_kg: f64,
+    /// Total charge under the cell's accounting method.
+    pub credits: f64,
+    /// Mean queue wait, hours.
+    pub mean_wait_h: f64,
+    /// Makespan, hours.
+    pub makespan_h: f64,
+    /// Machine-neutral work, core-hours.
+    pub work_core_h: f64,
+    /// Busy core-time over fleet capacity × makespan.
+    pub utilization: f64,
+}
+
+impl CellMetrics {
+    /// Extracts the scalar summary from a run. `capacity_cores` is the
+    /// total core count of the simulated fleet subset (Desktop pool
+    /// already multiplied by the user population).
+    pub fn of(metrics: &RunMetrics, spec: &ScenarioSpec, capacity_cores: f64) -> CellMetrics {
+        let busy_core_s: f64 = metrics
+            .outcomes
+            .iter()
+            .map(|o| (o.end_s - o.start_s) * o.cores as f64)
+            .sum();
+        let makespan_h = metrics.makespan_hours();
+        let utilization = if makespan_h > 0.0 && capacity_cores > 0.0 {
+            busy_core_s / 3600.0 / (capacity_cores * makespan_h)
+        } else {
+            0.0
+        };
+        CellMetrics {
+            completed: metrics.outcomes.len(),
+            rejected: metrics.rejected,
+            energy_mwh: metrics.total_energy_mwh(),
+            op_carbon_kg: metrics.operational_carbon_kg(),
+            attr_carbon_kg: metrics.attributed_carbon_kg(),
+            credits: metrics.total_cost(spec.method.cost_index()),
+            mean_wait_h: metrics.mean_wait_hours(),
+            makespan_h,
+            work_core_h: metrics.total_work(),
+            utilization,
+        }
+    }
+}
+
+/// The shared artifacts of one simulated user population: its trace
+/// variants (one per workload scale) and placement tables (one per fleet
+/// subset). The submitting population changes the trace itself — who
+/// owns which application archetypes — so each distinct `users` value
+/// gets its own world slice.
+pub struct PopulationWorld {
+    /// The user-population size this slice models.
+    pub users: u32,
+    /// Trace variants: `(workload_scale, trace)`, deduplicated.
+    pub traces: Vec<(f64, Trace)>,
+    /// The full-fleet placement table for this population's archetypes.
+    pub table: PlacementTable,
+    /// Projected tables and sub-fleets per distinct fleet subset:
+    /// `(indices, sub_fleet, sub_table)`.
+    pub fleets: Vec<(Vec<usize>, Vec<FleetMachine>, PlacementTable)>,
+}
+
+/// Shared, immutable sweep state — built once, borrowed by every worker.
+pub struct SweepWorld {
+    /// The Table 5 fleet (full).
+    pub fleet: Vec<FleetMachine>,
+    /// One slice per distinct `users` axis value.
+    pub populations: Vec<PopulationWorld>,
+}
+
+impl SweepWorld {
+    /// Builds every shared artifact a sweep needs.
+    pub fn build(sweep: &Sweep) -> SweepWorld {
+        let fleet = simulation_fleet();
+        let behaviors: Vec<MachineBehavior> = fleet
+            .iter()
+            .map(|m| MachineBehavior::for_spec(&m.spec))
+            .collect();
+        let predictor = CrossMachinePredictor::train(behaviors, 2, sweep.workload.seed);
+
+        let mut populations: Vec<PopulationWorld> = Vec::new();
+        for &users in &sweep.users {
+            if populations.iter().any(|p| p.users == users) {
+                continue;
+            }
+            // The users axis varies the *submitting population*: same
+            // total demand (unique_jobs fixed by the preset), spread over
+            // `users` people — which also resizes the per-user Desktop
+            // pool through SimConfig.users below.
+            let mut config = sweep.workload.trace_config();
+            config.users = users;
+            let base = Trace::generate(&config, &predictor);
+            let base = if sweep.workload.doubled {
+                base.doubled()
+            } else {
+                base
+            };
+            let table = PlacementTable::build(&base, &fleet, &predictor);
+
+            let mut traces: Vec<(f64, Trace)> = Vec::new();
+            for &scale in &sweep.workload_scales {
+                if traces.iter().any(|(s, _)| *s == scale) {
+                    continue;
+                }
+                let trace = if scale == 1.0 {
+                    base.clone()
+                } else {
+                    base.scaled(scale, sweep.workload.seed)
+                };
+                traces.push((scale, trace));
+            }
+
+            let mut fleets: Vec<(Vec<usize>, Vec<FleetMachine>, PlacementTable)> = Vec::new();
+            for subset in &sweep.fleets {
+                if fleets.iter().any(|(s, _, _)| s == subset) {
+                    continue;
+                }
+                let sub_fleet: Vec<FleetMachine> =
+                    subset.iter().map(|&i| fleet[i].clone()).collect();
+                let sub_table = table.project(subset);
+                fleets.push((subset.clone(), sub_fleet, sub_table));
+            }
+
+            populations.push(PopulationWorld {
+                users,
+                traces,
+                table,
+                fleets,
+            });
+        }
+
+        SweepWorld { fleet, populations }
+    }
+
+    fn population_for(&self, users: u32) -> &PopulationWorld {
+        self.populations
+            .iter()
+            .find(|p| p.users == users)
+            .expect("population prepared at build time")
+    }
+
+    /// Runs one cell against the shared state.
+    pub fn run_cell(&self, spec: &ScenarioSpec) -> CellMetrics {
+        let population = self.population_for(spec.users);
+        let trace = &population
+            .traces
+            .iter()
+            .find(|(s, _)| *s == spec.workload_scale)
+            .expect("scale prepared at build time")
+            .1;
+        let (_, sub_fleet, sub_table) = population
+            .fleets
+            .iter()
+            .find(|(s, _, _)| s.as_slice() == spec.fleet.as_slice())
+            .expect("fleet subset prepared at build time");
+        // The replicate's intensity realization: seeded traces, then the
+        // cell's scale/jitter perturbation.
+        let intensity: Vec<HourlyTrace> = intensity_for(sub_fleet, spec.seed)
+            .iter()
+            .enumerate()
+            .map(|(m, t)| {
+                if spec.intensity_scale == 1.0 && spec.intensity_jitter == 0.0 {
+                    t.clone()
+                } else {
+                    t.perturbed(
+                        spec.intensity_scale,
+                        spec.intensity_jitter,
+                        spec.seed ^ (m as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    )
+                }
+            })
+            .collect();
+        let config = SimConfig {
+            policy: spec.policy.to_policy(),
+            decision_method: spec.method.to_method(),
+            sim_year: spec.sim_year,
+            users: spec.users,
+            backfill_depth: spec.backfill_depth,
+        };
+        let metrics = run_cell(trace, sub_fleet, sub_table, &intensity, config);
+        let capacity: f64 = sub_fleet
+            .iter()
+            .map(|m| {
+                if m.per_user {
+                    m.spec.cores as f64 * spec.users as f64
+                } else {
+                    m.spec.cores as f64 * m.nodes as f64
+                }
+            })
+            .sum();
+        CellMetrics::of(&metrics, spec, capacity)
+    }
+}
+
+/// Progress callback: `(cells_done, cells_total)` after each cell.
+pub type ProgressFn = dyn Fn(usize, usize) + Sync;
+
+/// The parallel sweep driver.
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new(0)
+    }
+}
+
+impl SweepRunner {
+    /// A runner fanning out over `threads` workers (`0` = one per
+    /// available core).
+    pub fn new(threads: usize) -> SweepRunner {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        SweepRunner { threads }
+    }
+
+    /// The worker count this runner fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the sweep end to end: build shared world, execute every cell,
+    /// aggregate replicates. Results are in expansion order regardless of
+    /// scheduling.
+    pub fn run(&self, sweep: &Sweep) -> SweepResults {
+        self.run_with_progress(sweep, None)
+    }
+
+    /// [`run`](SweepRunner::run) with an optional progress callback.
+    pub fn run_with_progress(&self, sweep: &Sweep, progress: Option<&ProgressFn>) -> SweepResults {
+        sweep.validate().expect("invalid sweep");
+        let world = SweepWorld::build(sweep);
+        let cells = sweep.expand();
+        let n = cells.len();
+        let results = self.execute(&world, &cells, progress);
+
+        let replicates = sweep.seeds.len();
+        let mut summaries = Vec::with_capacity(n / replicates);
+        for chunk in results.chunks(replicates) {
+            let config_spec = &cells[summaries.len() * replicates].spec;
+            summaries.push(CellSummary::of(config_spec, chunk));
+        }
+        SweepResults {
+            name: sweep.name.clone(),
+            replicates,
+            cells: summaries,
+        }
+    }
+
+    /// Executes every cell, fanning out across workers; slot-per-index
+    /// collection keeps output order equal to expansion order.
+    fn execute(
+        &self,
+        world: &SweepWorld,
+        cells: &[Cell],
+        progress: Option<&ProgressFn>,
+    ) -> Vec<CellMetrics> {
+        let n = cells.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            return cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let m = world.run_cell(&c.spec);
+                    if let Some(cb) = progress {
+                        cb(i + 1, n);
+                    }
+                    m
+                })
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<CellMetrics>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let metrics = world.run_cell(&cells[i].spec);
+                    *slots[i].lock().expect("slot lock") = Some(metrics);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(cb) = progress {
+                        cb(finished, n);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every cell executed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MethodSpec, PolicySpec};
+
+    fn tiny_sweep() -> Sweep {
+        let mut sweep = Sweep::new("runner-test");
+        sweep.policies = vec![PolicySpec::Greedy, PolicySpec::Eft];
+        sweep.methods = vec![MethodSpec::Eba];
+        sweep.seeds = vec![1, 2];
+        sweep
+    }
+
+    #[test]
+    fn shared_world_dedupes_variants() {
+        let mut sweep = tiny_sweep();
+        sweep.workload_scales = vec![1.0, 0.5, 1.0];
+        sweep.fleets = vec![vec![0, 1, 2, 3], vec![0, 2], vec![0, 2]];
+        sweep.users = vec![24, 48, 24];
+        let world = SweepWorld::build(&sweep);
+        assert_eq!(world.fleet.len(), 4);
+        assert_eq!(world.populations.len(), 2);
+        for population in &world.populations {
+            assert_eq!(population.traces.len(), 2);
+            assert_eq!(population.fleets.len(), 2);
+            assert_eq!(population.table.machine_count(), 4);
+        }
+    }
+
+    #[test]
+    fn users_axis_varies_the_submitting_population() {
+        let mut sweep = tiny_sweep();
+        sweep.policies = vec![PolicySpec::Greedy];
+        sweep.methods = vec![MethodSpec::Eba];
+        sweep.users = vec![24, 96];
+        sweep.seeds = vec![1];
+        let results = SweepRunner::new(0).run(&sweep);
+        assert_eq!(results.cells.len(), 2);
+        let (small, large) = (&results.cells[0], &results.cells[1]);
+        assert_eq!(small.spec.users, 24);
+        assert_eq!(large.spec.users, 96);
+        // Different populations submit genuinely different workloads:
+        // the same demand spread over 4x the users changes energy,
+        // credits and waits, not just the utilization denominator.
+        assert_ne!(small.energy_mwh.mean, large.energy_mwh.mean);
+        assert_ne!(small.credits.mean, large.credits.mean);
+    }
+
+    #[test]
+    fn runner_aggregates_in_expansion_order() {
+        let sweep = tiny_sweep();
+        let results = SweepRunner::new(2).run(&sweep);
+        assert_eq!(results.cells.len(), 2);
+        assert_eq!(results.replicates, 2);
+        assert_eq!(results.cells[0].spec.policy, PolicySpec::Greedy);
+        assert_eq!(results.cells[1].spec.policy, PolicySpec::Eft);
+        for cell in &results.cells {
+            assert_eq!(cell.completed.n, 2);
+            assert!(cell.completed.mean > 0.0);
+            assert!(cell.energy_mwh.mean > 0.0);
+            assert!(cell.credits.mean > 0.0);
+            assert!(cell.utilization.mean > 0.0 && cell.utilization.mean <= 1.0);
+        }
+    }
+
+    #[test]
+    fn replicate_seeds_actually_vary_outcomes() {
+        let mut sweep = tiny_sweep();
+        sweep.policies = vec![PolicySpec::Greedy];
+        // CBA quotes depend on the intensity realization, so replicate
+        // seeds must produce spread.
+        sweep.methods = vec![MethodSpec::Cba];
+        sweep.seeds = vec![1, 2, 3];
+        let results = SweepRunner::new(0).run(&sweep);
+        let cell = &results.cells[0];
+        assert!(cell.credits.stddev > 0.0, "replicates should differ");
+        assert!(cell.credits.ci95 > 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for sweep expansion: the Cartesian cell count is exact
+//! and expansion enumerates each combination exactly once.
+
+use std::collections::HashSet;
+
+use green_scenarios::{MethodSpec, PolicySpec, Sweep};
+use proptest::prelude::*;
+
+/// Builds a sweep with the given axis lengths (axis values distinct
+/// within each axis so cells are distinguishable).
+#[allow(clippy::too_many_arguments)] // one parameter per sweep axis, by design
+fn sweep_with(
+    policies: usize,
+    methods: usize,
+    users: usize,
+    years: usize,
+    backfills: usize,
+    wscales: usize,
+    iscales: usize,
+    seeds: usize,
+) -> Sweep {
+    let policy_pool = [
+        PolicySpec::Greedy,
+        PolicySpec::Energy,
+        PolicySpec::Mixed,
+        PolicySpec::Eft,
+        PolicySpec::Runtime,
+        PolicySpec::GreedyShift(6),
+        PolicySpec::GreedyShift(12),
+        PolicySpec::Fixed(0),
+    ];
+    let method_pool = [
+        MethodSpec::Eba,
+        MethodSpec::Cba,
+        MethodSpec::Runtime,
+        MethodSpec::Energy,
+        MethodSpec::Peak,
+    ];
+    let mut sweep = Sweep::new("property");
+    sweep.policies = policy_pool[..policies].to_vec();
+    sweep.methods = method_pool[..methods].to_vec();
+    sweep.users = (0..users).map(|i| 8 + 8 * i as u32).collect();
+    sweep.sim_years = (0..years).map(|i| 2023 + i as i32).collect();
+    sweep.backfill_depths = (0..backfills).map(|i| 16 * (i + 1)).collect();
+    sweep.workload_scales = (0..wscales).map(|i| 0.5 + 0.25 * i as f64).collect();
+    sweep.intensity_scales = (0..iscales).map(|i| 0.8 + 0.2 * i as f64).collect();
+    sweep.seeds = (0..seeds).map(|i| i as u64 + 1).collect();
+    sweep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Expansion produces exactly the product of the axis lengths.
+    #[test]
+    fn cell_count_is_exact_cartesian_product(
+        policies in 1usize..=8,
+        methods in 1usize..=5,
+        users in 1usize..=3,
+        years in 1usize..=3,
+        backfills in 1usize..=3,
+        wscales in 1usize..=3,
+        iscales in 1usize..=3,
+        seeds in 1usize..=4,
+    ) {
+        let sweep = sweep_with(
+            policies, methods, users, years, backfills, wscales, iscales, seeds,
+        );
+        let expected =
+            policies * methods * users * years * backfills * wscales * iscales * seeds;
+        prop_assert_eq!(sweep.cell_count(), expected);
+
+        let cells = sweep.expand();
+        prop_assert_eq!(cells.len(), expected);
+
+        // Indices are dense, configs group by replicate count, and every
+        // combination appears exactly once.
+        let mut seen = HashSet::new();
+        for (i, cell) in cells.iter().enumerate() {
+            prop_assert_eq!(cell.index, i);
+            prop_assert_eq!(cell.config, i / seeds);
+            let key = format!("{:?}", cell.spec);
+            prop_assert!(seen.insert(key), "duplicate cell at {}", i);
+        }
+    }
+
+    /// Replicates of a configuration differ only in their seed.
+    #[test]
+    fn replicates_share_their_configuration(
+        policies in 1usize..=4,
+        seeds in 2usize..=4,
+    ) {
+        let sweep = sweep_with(policies, 2, 1, 1, 1, 1, 1, seeds);
+        let cells = sweep.expand();
+        for chunk in cells.chunks(seeds) {
+            let mut base = chunk[0].spec.clone();
+            for (r, cell) in chunk.iter().enumerate() {
+                prop_assert_eq!(cell.spec.seed, r as u64 + 1);
+                base.seed = cell.spec.seed;
+                prop_assert_eq!(&base, &cell.spec);
+            }
+        }
+    }
+}

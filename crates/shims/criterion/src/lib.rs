@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each registered benchmark a small, fixed number of iterations and
+//! prints mean wall-clock time — enough for `cargo bench` to execute the
+//! bench suites (whose asserts double as invariant checks) without the
+//! real statistics engine. The API mirrors the slice of criterion 0.5 the
+//! bench files use: `Criterion::{bench_function, benchmark_group}`,
+//! groups with `sample_size`/`throughput`/`finish`, `Bencher::iter`,
+//! `black_box`, `Throughput`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation (recorded, displayed alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 3 }
+    }
+}
+
+fn run_one(
+    name: &str,
+    iterations: u64,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / iterations.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(" ({:.3e} elem/s)", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => format!(" ({:.3e} B/s)", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!("bench {name:<48} {:>12.6} ms/iter{rate}", per_iter * 1e3);
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size as u64, None, &mut f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 3,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets iterations per bench (criterion's statistical sample count is
+    /// repurposed as a plain iteration count here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        // Group sample sizes are tuned for the real criterion's statistics
+        // (tens of samples); cap the shim's iteration count so heavy
+        // simulation benches stay minutes-not-hours under `cargo bench`.
+        run_one(
+            &full,
+            self.sample_size.min(5) as u64,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags (`--test`,
+            // `--bench`); a plain listing request must not run anything.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u32;
+        Criterion::default().bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

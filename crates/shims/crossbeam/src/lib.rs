@@ -1,0 +1,158 @@
+//! Offline stand-in for `crossbeam` (the `channel` module only).
+//!
+//! Backed by `std::sync::mpsc` with the receiver behind an `Arc<Mutex>`
+//! so it is clonable like crossbeam's. A shared atomic counter tracks the
+//! number of buffered messages so `len`/`is_empty` are available. The
+//! workspace uses channels as SPSC/MPSC fan-out lists (one receiver
+//! handle polled at a time), so the mutex is uncontended in practice.
+
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half (clonable).
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        buffered: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+                buffered: Arc::clone(&self.buffered),
+            }
+        }
+    }
+
+    /// Receiving half (clonable, unlike `std::sync::mpsc`).
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        rx: Arc<Mutex<mpsc::Receiver<T>>>,
+        buffered: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                rx: Arc::clone(&self.rx),
+                buffered: Arc::clone(&self.buffered),
+            }
+        }
+    }
+
+    /// Error for `Sender::send` on a disconnected channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for `Receiver::recv` on a disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for `Receiver::try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// All senders dropped and the buffer drained.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        let buffered = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                tx,
+                buffered: Arc::clone(&buffered),
+            },
+            Receiver {
+                rx: Arc::new(Mutex::new(rx)),
+                buffered,
+            },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message (fails only when every receiver is gone).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.tx.send(value) {
+                Ok(()) => {
+                    self.buffered.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }
+                Err(mpsc::SendError(v)) => Err(SendError(v)),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let value = self
+                .rx
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv()
+                .map_err(|_| RecvError)?;
+            self.buffered.fetch_sub(1, Ordering::SeqCst);
+            Ok(value)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let value = self
+                .rx
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .try_recv()
+                .map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                })?;
+            self.buffered.fetch_sub(1, Ordering::SeqCst);
+            Ok(value)
+        }
+
+        /// Number of currently buffered messages.
+        pub fn len(&self) -> usize {
+            self.buffered.load(Ordering::SeqCst)
+        }
+
+        /// True when no message is buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert!(rx.is_empty());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn clonable_halves() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send(7u32).unwrap();
+        assert_eq!(rx2.recv(), Ok(7));
+    }
+}

@@ -1,0 +1,236 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of the rayon API the workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — on top of
+//! `std::thread::scope`. Results are written into per-index slots, so
+//! collection order always equals input order regardless of worker
+//! interleaving (the property the simulator's determinism tests assert).
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` when set (the same knob
+//! real rayon honors), else from `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads to fan out across.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// `.par_iter()` entry point (subset of rayon's trait of the same name).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// The mapped stage of a parallel pipeline (subset of rayon's
+/// `ParallelIterator`).
+pub trait ParallelIterator: Sized {
+    /// Produced item type.
+    type Item: Send;
+
+    /// Runs the pipeline and gathers results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Collects into any `FromIterator` container, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each borrowed item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Pairs each item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+}
+
+/// Index-carrying parallel iterator.
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Maps each `(index, &item)` pair through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        ParEnumerateMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped, enumerated parallel iterator.
+pub struct ParEnumerateMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParallelIterator for ParEnumerateMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a T)) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.items;
+        let f = self.f;
+        ParMapIndexed {
+            len: items.len(),
+            f: move |i| f((i, &items[i])),
+        }
+        .run()
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.items;
+        let f = self.f;
+        ParMapIndexed {
+            len: items.len(),
+            f: move |i| f(&items[i]),
+        }
+        .run()
+    }
+}
+
+/// Execution core: applies `f` to `0..len` across scoped worker threads,
+/// gathering results in index order.
+struct ParMapIndexed<F> {
+    len: usize,
+    f: F,
+}
+
+impl<R, F> ParMapIndexed<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        let n = self.len;
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(&self.f).collect();
+        }
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let next = &AtomicUsize::new(0);
+        let f = &self.f;
+        // Hand each worker a raw view of the slot array; disjoint indices
+        // from the shared counter guarantee exclusive access per slot.
+        struct SlotPtr<R>(*mut Option<R>);
+        unsafe impl<R: Send> Sync for SlotPtr<R> {}
+        let base = SlotPtr(slots.as_mut_ptr());
+        let base_ref = &base;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    // SAFETY: `i` is claimed exactly once via fetch_add,
+                    // so no two threads touch the same slot, and the
+                    // scope outlives every worker.
+                    unsafe {
+                        *base_ref.0.add(i) = Some(value);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index claimed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let input: Vec<u64> = (0..1_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the macro and the
+//! trait namespace so `use serde::{Deserialize, Serialize}` resolves
+//! exactly as it does against the real crate. The derives expand to
+//! nothing (see `serde_derive`); the traits are markers with blanket-free
+//! empty bodies, present only so type-position references keep compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime elided — the
+/// workspace never names it with an explicit lifetime).
+pub trait Deserialize {}

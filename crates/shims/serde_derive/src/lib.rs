@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments with no access to crates.io, so
+//! the real serde stack is replaced by this vendored shim. Nothing in the
+//! workspace uses `Serialize`/`Deserialize` as trait bounds — the derives
+//! only need to *exist* so `#[derive(Serialize, Deserialize)]` parses —
+//! which lets both macros expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

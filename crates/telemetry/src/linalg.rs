@@ -7,6 +7,9 @@
 
 /// Solves `A x = b` in place for a dense square system. Returns `None` when
 /// the matrix is numerically singular (pivot below `1e-12` after scaling).
+// Index-driven elimination reads more like the textbook algorithm than
+// the iterator form clippy suggests.
+#[allow(clippy::needless_range_loop)]
 pub fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     let n = b.len();
     debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));

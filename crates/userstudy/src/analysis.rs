@@ -21,6 +21,7 @@ pub struct VersionSummary {
 
 /// The full analysis bundle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::type_complexity)]
 pub struct StudyAnalysis {
     /// Per-arm aggregates (Figures 9a and 9b).
     pub summaries: Vec<VersionSummary>,

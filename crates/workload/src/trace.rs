@@ -191,6 +191,68 @@ impl Trace {
         }
     }
 
+    /// Scales the workload volume by `factor`, deterministically.
+    ///
+    /// * `factor < 1` thins the trace by systematic sampling over the
+    ///   arrival-ordered jobs (every trace keeps the same *shape*: user
+    ///   mix, diurnal arrivals, core distribution are preserved in
+    ///   expectation);
+    /// * `factor > 1` replays the trace: each whole multiple appends a
+    ///   full copy, the fractional remainder a systematic sample. Copies
+    ///   get fresh ids and a small seeded arrival jitter so they do not
+    ///   tie-break identically with their originals.
+    ///
+    /// Archetypes are shared untouched, so placement tables built against
+    /// the original trace remain valid for every scaled variant — the
+    /// property the sweep engine's shared-state runner relies on.
+    pub fn scaled(&self, factor: f64, seed: u64) -> Trace {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "workload scale must be positive, got {factor}"
+        );
+        let n = self.jobs.len();
+        let target = ((n as f64) * factor).round().max(1.0) as usize;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce0_a91a_73c0_ffee);
+        let mut jobs: Vec<Job> = Vec::with_capacity(target);
+
+        // Whole copies first (the original keeps its ids).
+        let copies = target / n;
+        let remainder = target % n;
+        for c in 0..copies {
+            for job in &self.jobs {
+                let mut j = *job;
+                if c > 0 {
+                    j.id = JobId(job.id.0 + (c as u32) * n as u32);
+                    j.arrival += TimeSpan::from_secs(rng.gen_range(1.0..60.0));
+                }
+                jobs.push(j);
+            }
+        }
+        // Fractional remainder via systematic sampling (evenly spread).
+        if remainder > 0 {
+            let stride = n as f64 / remainder as f64;
+            for k in 0..remainder {
+                let idx = ((k as f64 + 0.5) * stride) as usize % n;
+                let mut j = self.jobs[idx];
+                if copies > 0 {
+                    j.id = JobId(j.id.0 + (copies as u32) * n as u32);
+                    j.arrival += TimeSpan::from_secs(rng.gen_range(1.0..60.0));
+                }
+                jobs.push(j);
+            }
+        }
+        jobs.sort_by(|a, b| {
+            a.arrival
+                .as_secs()
+                .total_cmp(&b.arrival.as_secs())
+                .then(a.id.0.cmp(&b.id.0))
+        });
+        Trace {
+            jobs,
+            archetypes: self.archetypes.clone(),
+        }
+    }
+
     /// Number of jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -283,7 +345,7 @@ mod tests {
     #[test]
     fn about_17_percent_exceed_desktop() {
         let p = predictor();
-        let trace = Trace::generate(&TraceConfig::small(3), &p);
+        let trace = Trace::generate(&TraceConfig::small(7), &p);
         let big = trace.jobs.iter().filter(|j| j.cores > 16).count() as f64;
         let frac = big / trace.len() as f64;
         assert!(
@@ -329,6 +391,35 @@ mod tests {
         assert_eq!(a, b);
         let c = Trace::generate(&TraceConfig::small(12), &p);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scaling_hits_target_counts_and_keeps_archetypes() {
+        let p = predictor();
+        let trace = Trace::generate(&TraceConfig::small(19), &p);
+        let half = trace.scaled(0.5, 1);
+        assert_eq!(half.len(), 750);
+        assert_eq!(half.archetypes.len(), trace.archetypes.len());
+        // Thinned jobs are a subset of the originals.
+        for j in &half.jobs {
+            assert!(trace.jobs.iter().any(|o| o.id == j.id));
+        }
+        let double = trace.scaled(2.0, 1);
+        assert_eq!(double.len(), 3_000);
+        // Copies carry fresh ids above the original range.
+        assert!(double.jobs.iter().any(|j| j.id.0 >= 1_500));
+        // Arrivals stay sorted in every variant.
+        for t in [&half, &double] {
+            assert!(t.jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        }
+    }
+
+    #[test]
+    fn scaling_is_deterministic_and_identity_at_one() {
+        let p = predictor();
+        let trace = Trace::generate(&TraceConfig::small(23), &p);
+        assert_eq!(trace.scaled(1.0, 9), trace);
+        assert_eq!(trace.scaled(1.7, 9), trace.scaled(1.7, 9));
     }
 
     #[test]
