@@ -106,6 +106,7 @@ impl Scenario {
                         sim_year: self.sim_year,
                         users: self.users,
                         backfill_depth: crate::cluster::DEFAULT_BACKFILL_DEPTH,
+                        market: None,
                     },
                 )
                 .run()

@@ -23,12 +23,14 @@
 pub mod cluster;
 pub mod event;
 pub mod experiment;
+pub mod market;
 pub mod metrics;
 pub mod policy;
 pub mod profile;
 pub mod simulator;
 
 pub use experiment::{intensity_for, run_cell, Scenario, ScenarioResults};
+pub use market::{MarketAgent, MarketInputs, PriceTable};
 pub use metrics::{JobOutcome, RunMetrics};
 pub use policy::Policy;
 pub use profile::PlacementTable;

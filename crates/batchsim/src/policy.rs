@@ -52,6 +52,12 @@ pub enum Policy {
         /// Longest acceptable submission delay, in whole hours.
         max_delay_hours: u32,
     },
+    /// Market extension: minimize the *posted* price (method charge ×
+    /// the market's price multiplier), and let each user's
+    /// [`MarketAgent`](crate::market::MarketAgent) elasticity decide
+    /// whether to shift the submission within their deadline slack. With
+    /// no market inputs this degenerates to `Greedy`.
+    Adaptive,
 }
 
 impl Policy {
@@ -93,6 +99,7 @@ impl Policy {
             Policy::GreedyShift { max_delay_hours } => {
                 format!("Greedy+Shift({max_delay_hours}h)")
             }
+            Policy::Adaptive => "Adaptive".into(),
         }
     }
 
@@ -135,9 +142,11 @@ impl Policy {
                 .find(|o| o.machine == *i && o.eligible)
                 .map(|o| o.machine),
             // Once the (possibly delayed) submission moment arrives, the
-            // machine choice is plain Greedy; the delay decision itself
-            // lives in the simulator, which can quote future prices.
-            Policy::GreedyShift { .. } => eligible()
+            // machine choice is cheapest-posted-price; the delay decision
+            // itself lives in the simulator, which can quote future
+            // prices. `cost` is already the posted price when a market is
+            // active.
+            Policy::GreedyShift { .. } | Policy::Adaptive => eligible()
                 .min_by(|a, b| a.cost.total_cmp(&b.cost))
                 .map(|o| o.machine),
         }

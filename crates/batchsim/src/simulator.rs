@@ -8,6 +8,7 @@ use green_workload::Trace;
 
 use crate::cluster::{Cluster, QueuedJob};
 use crate::event::{EventKind, EventQueue};
+use crate::market::MarketInputs;
 use crate::metrics::{JobOutcome, RunMetrics};
 use crate::policy::{MachineOption, Policy};
 use crate::profile::PlacementTable;
@@ -27,6 +28,9 @@ pub struct SimConfig {
     /// Backfill scan depth for every cluster (`0` = pure FCFS); see
     /// [`crate::cluster::DEFAULT_BACKFILL_DEPTH`].
     pub backfill_depth: usize,
+    /// Posted prices and agent elasticities (`None` = no market: every
+    /// quote is the raw method charge and nobody shifts for price).
+    pub market: Option<MarketInputs>,
 }
 
 impl SimConfig {
@@ -38,7 +42,14 @@ impl SimConfig {
             sim_year: 2023,
             users,
             backfill_depth: crate::cluster::DEFAULT_BACKFILL_DEPTH,
+            market: None,
         }
+    }
+
+    /// Attaches market inputs (posted prices + agent elasticities).
+    pub fn with_market(mut self, market: MarketInputs) -> SimConfig {
+        self.market = Some(market);
+        self
     }
 }
 
@@ -80,7 +91,30 @@ impl<'a> Simulator<'a> {
         cores.max(1).div_ceil(slice) * slice
     }
 
-    /// Builds the policy's view of one machine for one job.
+    /// The posted price multiplier for a machine at a moment: 1.0 without
+    /// a market, the market's schedule otherwise.
+    fn posted_multiplier(&self, machine: usize, at: TimePoint) -> f64 {
+        self.config
+            .market
+            .as_ref()
+            .map(|m| m.prices.multiplier_at(machine, at))
+            .unwrap_or(1.0)
+    }
+
+    /// The posted price of a job on a machine at `at`: the method charge
+    /// times the posted multiplier.
+    fn posted_quote(&self, machine: usize, job_idx: usize, at: TimePoint) -> f64 {
+        let ctx = self.charge_context(machine, job_idx, at);
+        self.config.decision_method.charge(&ctx).value() * self.posted_multiplier(machine, at)
+    }
+
+    /// Builds the policy's view of one machine for one job. `cost` is the
+    /// *posted* price — when a market is active, cost-aware policies see
+    /// (and react to) the schedule's multipliers, not the raw charge,
+    /// and the quote is read at the machine's *expected start* (now +
+    /// estimated queue wait): what a job will actually pay and emit is
+    /// set by the hour it starts drawing power, not the hour it was
+    /// submitted.
     fn option(
         &self,
         clusters: &[Cluster],
@@ -93,32 +127,36 @@ impl<'a> Simulator<'a> {
         let eligible = clusters[machine].eligible(provisioned);
         let runtime = self.table.runtime(job, machine);
         let energy = self.table.energy(job, machine);
-        let ctx = self.charge_context(machine, job_idx, now);
+        let est_wait = clusters[machine].estimated_wait(provisioned, job.user, now);
+        let quote_at = if self.config.market.is_some() {
+            now + est_wait
+        } else {
+            now
+        };
         MachineOption {
             machine,
             eligible,
             runtime,
             energy,
-            cost: self.config.decision_method.charge(&ctx).value(),
-            est_wait: clusters[machine].estimated_wait(provisioned, job.user, now),
+            cost: self.posted_quote(machine, job_idx, quote_at),
+            est_wait,
         }
     }
 
-    /// For the GreedyShift extension: the delay (in whole hours, `1..=max`)
-    /// that minimizes the cheapest machine quote over the window, or
-    /// `None` when submitting now is already optimal.
+    /// For GreedyShift and Adaptive: the delay (in whole hours, `1..=max`)
+    /// that minimizes the cheapest posted machine quote over the window,
+    /// or `None` when no delayed quote beats the immediate one by at
+    /// least `required_saving` (a fraction of the immediate cost).
     fn best_submission_delay(
         &self,
         job_idx: usize,
         now: TimePoint,
         max_delay_hours: u32,
+        required_saving: f64,
     ) -> Option<u32> {
         let quote_at = |at: TimePoint| -> f64 {
             (0..self.fleet.len())
-                .map(|m| {
-                    let ctx = self.charge_context(m, job_idx, at);
-                    self.config.decision_method.charge(&ctx).value()
-                })
+                .map(|m| self.posted_quote(m, job_idx, at))
                 .fold(f64::INFINITY, f64::min)
         };
         let now_cost = quote_at(now);
@@ -131,7 +169,59 @@ impl<'a> Simulator<'a> {
         }
         // Only shift for a material gain; a fraction of a percent is not
         // worth sitting in a queue an hour longer.
-        best.filter(|(_, c)| *c < now_cost * 0.99).map(|(d, _)| d)
+        best.filter(|(_, c)| *c < now_cost * (1.0 - required_saving))
+            .map(|(d, _)| d)
+    }
+
+    /// The submission delay an adaptive agent picks for a job, if any:
+    /// bounded by the agent's slack and the market-wide cap, with the
+    /// required saving shrinking as elasticity grows.
+    ///
+    /// Unlike [`best_submission_delay`](Simulator::best_submission_delay),
+    /// quotes are anchored at each machine's *expected start*: delaying
+    /// submission by `d` hours moves the start to `now + d + max(0,
+    /// wait − d)` — the queue keeps draining while the agent sits out
+    /// the delay, so in a congested system a delay mostly re-times the
+    /// start only once it exceeds the backlog.
+    fn adaptive_delay(&self, clusters: &[Cluster], job_idx: usize, now: TimePoint) -> Option<u32> {
+        let market = self.config.market.as_ref()?;
+        let job = &self.trace.jobs[job_idx];
+        let agent = market.agent(job.user.0);
+        if agent.elasticity <= 0.0 {
+            return None;
+        }
+        let window = agent.slack_hours.min(market.max_delay_hours);
+        if window == 0 {
+            return None;
+        }
+        let waits: Vec<f64> = (0..self.fleet.len())
+            .map(|m| {
+                let provisioned = self.provisioned_cores(m, job.cores);
+                clusters[m]
+                    .estimated_wait(provisioned, job.user, now)
+                    .as_secs()
+            })
+            .collect();
+        let quote_at = |delay_s: f64| -> f64 {
+            (0..self.fleet.len())
+                .map(|m| {
+                    let start = now
+                        + green_units::TimeSpan::from_secs(delay_s + (waits[m] - delay_s).max(0.0));
+                    self.posted_quote(m, job_idx, start)
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let now_cost = quote_at(0.0);
+        let mut best: Option<(u32, f64)> = None;
+        for delay in 1..=window {
+            let cost = quote_at(delay as f64 * 3600.0);
+            if cost < best.map(|(_, c)| c).unwrap_or(now_cost) {
+                best = Some((delay, cost));
+            }
+        }
+        let required = (market.shift_threshold / agent.elasticity).min(0.5);
+        best.filter(|(_, c)| *c < now_cost * (1.0 - required))
+            .map(|(d, _)| d)
     }
 
     /// The accounting context of a job on a machine, with the grid
@@ -198,19 +288,27 @@ impl<'a> Simulator<'a> {
                 EventKind::Arrival(job_idx) => {
                     // Temporal shifting: quote every whole-hour submission
                     // moment in the window and postpone if a cleaner hour
-                    // is strictly cheaper.
-                    if let Policy::GreedyShift { max_delay_hours } = self.config.policy {
-                        if !shifted[job_idx] {
-                            shifted[job_idx] = true;
-                            if let Some(delay_h) =
-                                self.best_submission_delay(job_idx, now, max_delay_hours)
-                            {
-                                events.push(
-                                    now + green_units::TimeSpan::from_hours(delay_h as f64),
-                                    EventKind::Arrival(job_idx),
-                                );
-                                continue;
+                    // is cheaper by enough. GreedyShift applies a uniform
+                    // window and threshold; Adaptive lets each user's
+                    // elasticity profile decide.
+                    if !shifted[job_idx] {
+                        let delay = match self.config.policy {
+                            Policy::GreedyShift { max_delay_hours } => {
+                                shifted[job_idx] = true;
+                                self.best_submission_delay(job_idx, now, max_delay_hours, 0.01)
                             }
+                            Policy::Adaptive => {
+                                shifted[job_idx] = true;
+                                self.adaptive_delay(&clusters, job_idx, now)
+                            }
+                            _ => None,
+                        };
+                        if let Some(delay_h) = delay {
+                            events.push(
+                                now + green_units::TimeSpan::from_hours(delay_h as f64),
+                                EventKind::Arrival(job_idx),
+                            );
+                            continue;
                         }
                     }
                     let job = &self.trace.jobs[job_idx];
@@ -390,6 +488,120 @@ mod tests {
         let a = run(Policy::Mixed);
         let b = run(Policy::Mixed);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identity_market_changes_nothing() {
+        let (trace, fleet, table, intensity) = setup();
+        let baseline = Simulator::new(
+            &trace,
+            &fleet,
+            &table,
+            &intensity,
+            SimConfig::new(Policy::Adaptive, MethodKind::eba(), 24),
+        )
+        .run();
+        let with_market = Simulator::new(
+            &trace,
+            &fleet,
+            &table,
+            &intensity,
+            SimConfig::new(Policy::Adaptive, MethodKind::eba(), 24)
+                .with_market(crate::market::MarketInputs::identity(4)),
+        )
+        .run();
+        // Flat prices + inelastic agents under EBA (time-invariant
+        // charges, so expected-start quote anchoring is a no-op):
+        // Adaptive must equal Greedy placements and outcomes bit for
+        // bit (modulo the policy name).
+        let greedy = run(Policy::Greedy);
+        assert_eq!(baseline.outcomes, with_market.outcomes);
+        assert_eq!(baseline.outcomes, greedy.outcomes);
+    }
+
+    #[test]
+    fn adaptive_agents_shift_toward_cheap_hours() {
+        use crate::market::{MarketAgent, MarketInputs, PriceTable};
+        // An *uncongested* workload: temporal shifting can only re-time
+        // actual starts (and therefore posted spend) when the fleet has
+        // slack — on a saturated fleet jobs run back-to-back whatever
+        // their submission hour.
+        let fleet = simulation_fleet();
+        let behaviors: Vec<MachineBehavior> = fleet
+            .iter()
+            .map(|m| MachineBehavior::for_spec(&m.spec))
+            .collect();
+        let predictor = CrossMachinePredictor::train(behaviors, 2, 23);
+        let trace = Trace::generate(
+            &TraceConfig {
+                users: 24,
+                unique_jobs: 300,
+                duration: green_units::TimeSpan::from_days(8.0),
+                max_runtime: green_units::TimeSpan::from_hours(12.0),
+                seed: 23,
+            },
+            &predictor,
+        );
+        let table = PlacementTable::build(&trace, &fleet, &predictor);
+        let intensity: Vec<HourlyTrace> = fleet
+            .iter()
+            .map(|m| m.spec.facility.region.trace(23, 90))
+            .collect();
+        // A strong diurnal price signal, identical on every machine:
+        // hours 0–11 of each day are 3× as expensive as hours 12–23.
+        let day: Vec<f64> = (0..24).map(|h| if h < 12 { 3.0 } else { 1.0 }).collect();
+        let prices = PriceTable::new(vec![day; 4]);
+        let market = |elasticity: f64| MarketInputs {
+            prices: prices.clone(),
+            agents: vec![MarketAgent {
+                elasticity,
+                slack_hours: 12,
+            }],
+            max_delay_hours: 24,
+            shift_threshold: 0.02,
+        };
+        let run_with = |elasticity: f64| {
+            Simulator::new(
+                &trace,
+                &fleet,
+                &table,
+                &intensity,
+                SimConfig::new(Policy::Adaptive, MethodKind::eba(), 24)
+                    .with_market(market(elasticity)),
+            )
+            .run()
+        };
+        let rigid = run_with(0.0);
+        let elastic = run_with(2.0);
+        let shifted_starts = |m: &RunMetrics| {
+            m.outcomes
+                .iter()
+                .filter(|o| o.start_s > o.arrival_s + 1.0)
+                .count()
+        };
+        assert!(
+            shifted_starts(&elastic) > shifted_starts(&rigid),
+            "elastic agents should delay submissions toward cheap hours"
+        );
+        // Spending at posted prices drops for the elastic population.
+        let posted = |m: &RunMetrics| -> f64 {
+            m.outcomes
+                .iter()
+                .map(|o| {
+                    o.charges[crate::metrics::cost::EBA]
+                        * prices.multiplier_at(
+                            o.machine as usize,
+                            green_units::TimePoint::from_secs(o.start_s),
+                        )
+                })
+                .sum()
+        };
+        assert!(
+            posted(&elastic) < posted(&rigid),
+            "elastic posted spend {:.3e} should undercut rigid {:.3e}",
+            posted(&elastic),
+            posted(&rigid)
+        );
     }
 
     #[test]

@@ -105,6 +105,12 @@ impl Ledger {
     }
 
     /// Opens (or tops up) an account.
+    ///
+    /// Granting to an existing owner **accumulates**: the amount is added
+    /// to the prior `granted` total and the spend history is untouched. A
+    /// grant never replaces or resets an account — renewals stack on top
+    /// of whatever the user already holds, exactly like an allocation
+    /// extension at a real center.
     pub fn grant(&mut self, owner: &str, amount: Credits) {
         let acct = self
             .accounts
@@ -120,6 +126,11 @@ impl Ledger {
     /// Looks up an account.
     pub fn account(&self, owner: &str) -> Option<&Allocation> {
         self.accounts.get(owner)
+    }
+
+    /// Iterates over every account (arbitrary order).
+    pub fn accounts(&self) -> impl Iterator<Item = &Allocation> {
+        self.accounts.values()
     }
 
     /// True when the account can afford `amount` (admission control).
@@ -162,14 +173,21 @@ impl Ledger {
         Ok(())
     }
 
-    /// Refunds a previous charge (e.g. an over-estimated admission hold).
+    /// Refunds a previous charge (e.g. an over-estimated admission hold)
+    /// and returns the amount actually refunded.
+    ///
+    /// A refund can never push `spent` below zero; when `amount` exceeds
+    /// the outstanding spend, only the outstanding part is refunded and
+    /// recorded. Recording the clamped amount (not the requested one)
+    /// keeps the ledger conservative: for every account, `spent` equals
+    /// the net sum of its transaction amounts.
     pub fn refund(
         &mut self,
         owner: &str,
         amount: Credits,
         at: TimePoint,
         label: impl Into<String>,
-    ) -> Result<(), AllocationError> {
+    ) -> Result<Credits, AllocationError> {
         if amount.value() < 0.0 {
             return Err(AllocationError::NegativeAmount(amount.value()));
         }
@@ -177,17 +195,15 @@ impl Ledger {
             .accounts
             .get_mut(owner)
             .ok_or_else(|| AllocationError::UnknownAccount(owner.to_string()))?;
-        acct.spent -= amount;
-        if acct.spent.value() < 0.0 {
-            acct.spent = Credits::ZERO;
-        }
+        let refunded = amount.min(acct.spent.max(Credits::ZERO));
+        acct.spent -= refunded;
         self.transactions.push(Transaction {
             account: owner.to_string(),
-            amount: -amount,
+            amount: -refunded,
             at,
             label: label.into(),
         });
-        Ok(())
+        Ok(refunded)
     }
 
     /// Debits as much of `amount` as the balance allows and returns the
@@ -220,8 +236,15 @@ impl Ledger {
     }
 
     /// Total credits spent across all accounts.
+    ///
+    /// Summed in owner order, not map order: float addition is not
+    /// associative, and `HashMap` iteration order changes per process —
+    /// a deterministic order is what lets different `CreditStore`
+    /// backends report bit-identical totals for the same stream.
     pub fn total_spent(&self) -> Credits {
-        self.accounts.values().map(|a| a.spent).sum()
+        let mut accounts: Vec<&Allocation> = self.accounts.values().collect();
+        accounts.sort_by(|a, b| a.owner.cmp(&b.owner));
+        accounts.iter().map(|a| a.spent).sum()
     }
 }
 
@@ -293,9 +316,44 @@ mod tests {
     fn refund_never_goes_negative() {
         let mut ledger = Ledger::new();
         ledger.grant("erin", Credits::new(10.0));
-        ledger
+        let refunded = ledger
             .refund("erin", Credits::new(5.0), TimePoint::EPOCH, "oops")
             .unwrap();
         assert!((ledger.account("erin").unwrap().spent.value()).abs() < 1e-12);
+        // Nothing was outstanding, so nothing was refunded — and the
+        // recorded transaction says so.
+        assert!(refunded.value().abs() < 1e-12);
+        assert!(ledger.transactions()[0].amount.value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn grant_on_existing_owner_accumulates() {
+        let mut ledger = Ledger::new();
+        ledger.grant("frank", Credits::new(100.0));
+        ledger
+            .debit("frank", Credits::new(30.0), TimePoint::EPOCH, "j1")
+            .unwrap();
+        // A renewal tops up the same account: granted stacks, spent stays.
+        ledger.grant("frank", Credits::new(50.0));
+        let acct = ledger.account("frank").unwrap();
+        assert!((acct.granted.value() - 150.0).abs() < 1e-12);
+        assert!((acct.spent.value() - 30.0).abs() < 1e-12);
+        assert!((acct.remaining().value() - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refund_is_clamped_to_outstanding_spend() {
+        let mut ledger = Ledger::new();
+        ledger.grant("gail", Credits::new(100.0));
+        ledger
+            .debit("gail", Credits::new(20.0), TimePoint::EPOCH, "hold")
+            .unwrap();
+        let refunded = ledger
+            .refund("gail", Credits::new(35.0), TimePoint::EPOCH, "release")
+            .unwrap();
+        assert!((refunded.value() - 20.0).abs() < 1e-12);
+        // Conservation: spent equals the net sum of transaction amounts.
+        let net: f64 = ledger.transactions().iter().map(|t| t.amount.value()).sum();
+        assert!((ledger.account("gail").unwrap().spent.value() - net).abs() < 1e-12);
     }
 }

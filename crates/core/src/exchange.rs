@@ -26,11 +26,13 @@ pub struct ExchangeRate {
 impl ExchangeRate {
     /// Estimates the rate over a sample of charge contexts (e.g. a recent
     /// window of completed jobs). Returns `None` when the sample prices to
-    /// zero under the source method.
+    /// zero under *either* method: a zero source total leaves the ratio
+    /// undefined, and a zero target total would produce a rate of 0 that
+    /// silently destroys any balance converted through it.
     pub fn estimate(from: MethodKind, to: MethodKind, sample: &[ChargeContext]) -> Option<Self> {
         let total_from: f64 = sample.iter().map(|c| from.charge(c).value()).sum();
         let total_to: f64 = sample.iter().map(|c| to.charge(c).value()).sum();
-        if total_from <= 0.0 || !total_to.is_finite() {
+        if total_from <= 0.0 || total_to <= 0.0 || !total_to.is_finite() {
             return None;
         }
         Some(ExchangeRate {
@@ -87,5 +89,30 @@ mod tests {
     fn zero_source_rejected() {
         let empty: Vec<ChargeContext> = Vec::new();
         assert!(ExchangeRate::estimate(MethodKind::Runtime, MethodKind::Cba, &empty).is_none());
+    }
+
+    #[test]
+    fn zero_target_rejected() {
+        // Jobs that ran (positive runtime) but drew no measured energy:
+        // Runtime prices them fine, Energy prices them to zero. A rate of
+        // 0 here would wipe out any balance converted through it.
+        let sample: Vec<ChargeContext> = (1..=4)
+            .map(|i| {
+                ChargeContext::new(
+                    Energy::from_joules(0.0),
+                    TimeSpan::from_secs(10.0 * i as f64),
+                )
+                .with_cores(8)
+            })
+            .collect();
+        let total: f64 = sample
+            .iter()
+            .map(|c| MethodKind::Runtime.charge(c).value())
+            .sum();
+        assert!(total > 0.0, "source method must price the sample");
+        assert!(
+            ExchangeRate::estimate(MethodKind::Runtime, MethodKind::Energy, &sample).is_none(),
+            "a zero target total must reject the rate, not produce 0"
+        );
     }
 }

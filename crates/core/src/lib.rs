@@ -33,6 +33,7 @@ pub mod exchange;
 pub mod methods;
 pub mod normalize;
 pub mod quote;
+pub mod store;
 
 pub use allocation::{Allocation, AllocationError, Ledger, Transaction};
 pub use context::ChargeContext;
@@ -40,3 +41,4 @@ pub use exchange::ExchangeRate;
 pub use methods::{AccountingMethod, MethodKind};
 pub use normalize::normalize_min;
 pub use quote::{MachineQuote, QuoteSet};
+pub use store::{CreditStore, LockedLedger};

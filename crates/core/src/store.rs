@@ -1,0 +1,224 @@
+//! The concurrent credit-store interface.
+//!
+//! [`Ledger`] is a plain single-threaded book of accounts. Putting the
+//! ledger on a market hot path (many users quoting, holding and settling
+//! concurrently) needs an interface that takes `&self` and synchronizes
+//! internally, so different backends — a single-lock wrapper around the
+//! existing [`Ledger`], or the sharded store in `green-market` — are
+//! drop-in replacements for each other. Backends must agree exactly on
+//! observable state: [`CreditStore::snapshot`] of two backends fed the
+//! same operation stream is identical.
+
+use green_units::{Credits, TimePoint};
+use parking_lot::Mutex;
+
+use crate::allocation::{Allocation, AllocationError, Ledger, Transaction};
+
+/// A thread-safe book of allocation accounts.
+///
+/// Semantics mirror [`Ledger`] operation for operation: grants
+/// accumulate, debits reject overdrafts, refunds clamp at zero spend and
+/// return the amount actually refunded, and `debit_up_to` settles as much
+/// as the balance allows.
+pub trait CreditStore: Send + Sync {
+    /// Opens (or tops up) an account; grants accumulate.
+    fn grant(&self, owner: &str, amount: Credits);
+
+    /// Remaining balance, or `None` for an unknown account.
+    fn balance(&self, owner: &str) -> Option<Credits>;
+
+    /// True when the account can afford `amount` (admission control).
+    fn can_afford(&self, owner: &str, amount: Credits) -> bool;
+
+    /// Debits an account; rejects overdrafts and negative amounts.
+    fn debit(
+        &self,
+        owner: &str,
+        amount: Credits,
+        at: TimePoint,
+        label: &str,
+    ) -> Result<(), AllocationError>;
+
+    /// Refunds a previous charge; returns the amount actually refunded
+    /// (clamped so spend never goes negative).
+    fn refund(
+        &self,
+        owner: &str,
+        amount: Credits,
+        at: TimePoint,
+        label: &str,
+    ) -> Result<Credits, AllocationError>;
+
+    /// Debits as much of `amount` as the balance allows; returns the
+    /// amount actually charged.
+    fn debit_up_to(
+        &self,
+        owner: &str,
+        amount: Credits,
+        at: TimePoint,
+        label: &str,
+    ) -> Result<Credits, AllocationError>;
+
+    /// Total credits spent across all accounts.
+    fn total_spent(&self) -> Credits;
+
+    /// Number of transactions recorded so far.
+    fn transaction_count(&self) -> usize;
+
+    /// All transactions, merged across any internal sharding into one
+    /// deterministic order: ascending `(at, account, label)`.
+    fn transactions(&self) -> Vec<Transaction>;
+
+    /// Every account's state, sorted by owner — the canonical projection
+    /// two backends are compared on.
+    fn snapshot(&self) -> Vec<Allocation>;
+}
+
+/// The baseline [`CreditStore`]: the whole [`Ledger`] behind one mutex.
+///
+/// Correct and simple, but every balance check serializes against every
+/// settlement — the benchmark `green-market` exists to beat.
+#[derive(Debug, Default)]
+pub struct LockedLedger(Mutex<Ledger>);
+
+impl LockedLedger {
+    /// An empty store.
+    pub fn new() -> LockedLedger {
+        LockedLedger::default()
+    }
+
+    /// Wraps an existing ledger.
+    pub fn from_ledger(ledger: Ledger) -> LockedLedger {
+        LockedLedger(Mutex::new(ledger))
+    }
+
+    /// Unwraps into the inner ledger.
+    pub fn into_inner(self) -> Ledger {
+        self.0.into_inner()
+    }
+}
+
+/// Sorts a transaction list into the canonical merged order used by
+/// [`CreditStore::transactions`]: ascending `(at, account, label)`.
+/// Backends with internal sharding call this to present one view.
+pub fn sort_transactions(transactions: &mut [Transaction]) {
+    transactions.sort_by(|a, b| {
+        a.at.as_secs()
+            .total_cmp(&b.at.as_secs())
+            .then_with(|| a.account.cmp(&b.account))
+            .then_with(|| a.label.cmp(&b.label))
+    });
+}
+
+impl CreditStore for LockedLedger {
+    fn grant(&self, owner: &str, amount: Credits) {
+        self.0.lock().grant(owner, amount);
+    }
+
+    fn balance(&self, owner: &str) -> Option<Credits> {
+        self.0.lock().account(owner).map(|a| a.remaining())
+    }
+
+    fn can_afford(&self, owner: &str, amount: Credits) -> bool {
+        self.0.lock().can_afford(owner, amount)
+    }
+
+    fn debit(
+        &self,
+        owner: &str,
+        amount: Credits,
+        at: TimePoint,
+        label: &str,
+    ) -> Result<(), AllocationError> {
+        self.0.lock().debit(owner, amount, at, label)
+    }
+
+    fn refund(
+        &self,
+        owner: &str,
+        amount: Credits,
+        at: TimePoint,
+        label: &str,
+    ) -> Result<Credits, AllocationError> {
+        self.0.lock().refund(owner, amount, at, label)
+    }
+
+    fn debit_up_to(
+        &self,
+        owner: &str,
+        amount: Credits,
+        at: TimePoint,
+        label: &str,
+    ) -> Result<Credits, AllocationError> {
+        self.0.lock().debit_up_to(owner, amount, at, label)
+    }
+
+    fn total_spent(&self) -> Credits {
+        self.0.lock().total_spent()
+    }
+
+    fn transaction_count(&self) -> usize {
+        self.0.lock().transactions().len()
+    }
+
+    fn transactions(&self) -> Vec<Transaction> {
+        let mut transactions = self.0.lock().transactions().to_vec();
+        sort_transactions(&mut transactions);
+        transactions
+    }
+
+    fn snapshot(&self) -> Vec<Allocation> {
+        let ledger = self.0.lock();
+        let mut accounts: Vec<Allocation> = ledger.accounts().cloned().collect();
+        accounts.sort_by(|a, b| a.owner.cmp(&b.owner));
+        accounts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locked_ledger_roundtrip() {
+        let store = LockedLedger::new();
+        store.grant("alice", Credits::new(100.0));
+        assert!(store.can_afford("alice", Credits::new(100.0)));
+        store
+            .debit("alice", Credits::new(60.0), TimePoint::EPOCH, "hold j1")
+            .unwrap();
+        let refunded = store
+            .refund("alice", Credits::new(60.0), TimePoint::EPOCH, "release j1")
+            .unwrap();
+        assert!((refunded.value() - 60.0).abs() < 1e-12);
+        let charged = store
+            .debit_up_to("alice", Credits::new(150.0), TimePoint::EPOCH, "settle j1")
+            .unwrap();
+        assert!((charged.value() - 100.0).abs() < 1e-12);
+        assert!((store.total_spent().value() - 100.0).abs() < 1e-12);
+        assert_eq!(store.transaction_count(), 3);
+        let snapshot = store.snapshot();
+        assert_eq!(snapshot.len(), 1);
+        assert!((snapshot[0].remaining().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transactions_merge_in_canonical_order() {
+        let store = LockedLedger::new();
+        store.grant("b", Credits::new(10.0));
+        store.grant("a", Credits::new(10.0));
+        store
+            .debit("b", Credits::new(1.0), TimePoint::from_secs(5.0), "x")
+            .unwrap();
+        store
+            .debit("a", Credits::new(1.0), TimePoint::from_secs(5.0), "y")
+            .unwrap();
+        store
+            .debit("b", Credits::new(1.0), TimePoint::from_secs(1.0), "z")
+            .unwrap();
+        let merged = store.transactions();
+        assert_eq!(merged[0].label, "z");
+        assert_eq!(merged[1].account, "a");
+        assert_eq!(merged[2].account, "b");
+    }
+}

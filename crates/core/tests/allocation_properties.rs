@@ -1,0 +1,95 @@
+//! Conservation properties of the ledger: no operation sequence can
+//! create or destroy credits.
+//!
+//! For every account, at all times:
+//!
+//! * `granted == spent + remaining` (the balance identity),
+//! * `spent` equals the net sum of the account's transaction amounts
+//!   (debits positive, refunds negative — refunds record the *clamped*
+//!   amount, so the book always balances),
+//! * `0 <= spent` and `remaining <= granted`.
+
+use green_accounting::Ledger;
+use green_units::{Credits, TimePoint};
+use proptest::prelude::*;
+
+/// One randomly generated ledger operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Grant(f64),
+    Debit(f64),
+    Refund(f64),
+    DebitUpTo(f64),
+}
+
+fn op_strategy() -> BoxedStrategy<(u8, Op)> {
+    let amount = 0.0..150.0f64;
+    (
+        0u8..4, // account index: a small pool forces interleaving
+        prop_oneof![
+            (0.0..300.0f64).prop_map(Op::Grant).boxed(),
+            amount.clone().prop_map(Op::Debit).boxed(),
+            amount.clone().prop_map(Op::Refund).boxed(),
+            amount.prop_map(Op::DebitUpTo).boxed(),
+        ],
+    )
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn credits_are_conserved(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut ledger = Ledger::new();
+        let owners = ["a0", "a1", "a2", "a3"];
+        for (step, (who, op)) in ops.iter().enumerate() {
+            let owner = owners[*who as usize];
+            let at = TimePoint::from_secs(step as f64);
+            match *op {
+                Op::Grant(v) => ledger.grant(owner, Credits::new(v)),
+                // Overdrafts and unknown accounts may legitimately fail;
+                // failures must leave the book untouched, which the final
+                // invariants below would catch.
+                Op::Debit(v) => {
+                    let _ = ledger.debit(owner, Credits::new(v), at, format!("d{step}"));
+                }
+                Op::Refund(v) => {
+                    let _ = ledger.refund(owner, Credits::new(v), at, format!("r{step}"));
+                }
+                Op::DebitUpTo(v) => {
+                    let _ = ledger.debit_up_to(owner, Credits::new(v), at, format!("u{step}"));
+                }
+            }
+
+            // Invariants hold after every step, not just at the end.
+            for owner in owners {
+                let Some(acct) = ledger.account(owner) else {
+                    continue;
+                };
+                let net: f64 = ledger
+                    .transactions()
+                    .iter()
+                    .filter(|t| t.account == owner)
+                    .map(|t| t.amount.value())
+                    .sum();
+                prop_assert!(acct.spent.value() >= -1e-9, "negative spend on {owner}");
+                prop_assert!(
+                    acct.remaining().value() <= acct.granted.value() + 1e-9,
+                    "remaining exceeds grant on {owner}"
+                );
+                prop_assert!(
+                    (acct.granted.value() - acct.spent.value() - acct.remaining().value()).abs()
+                        < 1e-9,
+                    "granted != spent + remaining on {owner}"
+                );
+                prop_assert!(
+                    (acct.spent.value() - net).abs() < 1e-6,
+                    "spent {} diverged from transaction net {} on {owner}",
+                    acct.spent.value(),
+                    net
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Ledger throughput: the sharded store vs. the single-lock baseline.
+//!
+//! Each benchmark run performs a fixed mixed workload — 90 % balance
+//! checks, 10 % settlements (debit + refund), the admission-control
+//! read-to-write ratio of the quote path — over 64 accounts, split
+//! across 1 or 8 worker threads, and reports ops/sec. The claim under
+//! test: with one global lock every balance check serializes against
+//! every settlement, so the single-lock store flatlines (or regresses)
+//! at 8 threads, while the sharded store's striped locks and atomic
+//! balance arithmetic scale.
+//!
+//! Reproduce with:
+//!
+//! ```text
+//! cargo bench -p green-market --bench ledger_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, Bencher, Criterion, Throughput};
+use green_accounting::{CreditStore, LockedLedger};
+use green_market::ShardedLedger;
+use green_units::{Credits, TimePoint};
+
+const ACCOUNTS: usize = 64;
+const OPS: usize = 200_000;
+
+fn names() -> Vec<String> {
+    (0..ACCOUNTS).map(|i| format!("acct-{i}")).collect()
+}
+
+fn prepare(store: &dyn CreditStore, names: &[String]) {
+    for name in names {
+        store.grant(name, Credits::new(1.0e12));
+    }
+}
+
+/// Runs `OPS` mixed operations split over `threads` workers. Account
+/// names are precomputed so the measured path is the store itself, not
+/// string formatting.
+fn workload(store: &dyn CreditStore, names: &[String], threads: usize) {
+    let per_thread = OPS / threads;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut state = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for _ in 0..per_thread {
+                    // xorshift: cheap, deterministic per-thread op mix.
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let owner = &names[(state % ACCOUNTS as u64) as usize];
+                    if state % 10 < 9 {
+                        let _ = store.can_afford(owner, Credits::new(1.0));
+                        let _ = store.balance(owner);
+                    } else {
+                        let _ = store.debit(owner, Credits::new(1.0), TimePoint::EPOCH, "op");
+                        let _ = store.refund(owner, Credits::new(0.5), TimePoint::EPOCH, "op");
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_backend(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    threads: usize,
+    make: &dyn Fn() -> Box<dyn CreditStore>,
+) {
+    let names = names();
+    group.bench_function(&format!("{name}/{threads}thread"), |b: &mut Bencher| {
+        b.iter(|| {
+            let store = make();
+            prepare(store.as_ref(), &names);
+            workload(store.as_ref(), &names, threads);
+            store.total_spent().value()
+        });
+    });
+}
+
+fn ledger_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ledger");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(OPS as u64));
+    for threads in [1usize, 8] {
+        bench_backend(&mut group, "single_lock", threads, &|| {
+            Box::new(LockedLedger::new())
+        });
+        bench_backend(&mut group, "sharded16", threads, &|| {
+            Box::new(ShardedLedger::new(16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ledger_throughput);
+criterion_main!(benches);

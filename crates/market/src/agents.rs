@@ -1,0 +1,104 @@
+//! The adaptive agent population: elasticity profiles for simulated
+//! users.
+//!
+//! Profiles are seeded from the user study's behavioral agents
+//! ([`AgentProfile`]): a user's cost sensitivity in the scheduling game
+//! becomes their price elasticity in the market, and their time
+//! sensitivity bounds how much deadline slack they will spend chasing a
+//! cheaper posted hour. [`implied_elasticity`] closes the loop the other
+//! way, reading a population-level elasticity off a completed study's
+//! V3-vs-V1 energy effect (Figure 9a).
+
+use green_batchsim::MarketAgent;
+use green_userstudy::{AgentProfile, StudyAnalysis, Version};
+
+/// Mean cost sensitivity of [`AgentProfile::population`] (the draw is
+/// uniform over `[1.4, 3.0]`); dividing by it centers elasticities on
+/// the sweep's `elasticity` axis value.
+const MEAN_COST_SENSITIVITY: f64 = 2.2;
+
+/// Builds a heterogeneous market population of `n` agents.
+///
+/// `elasticity_scale` is the population-mean elasticity (the sweep axis
+/// value): each agent's own elasticity scatters around it in proportion
+/// to their game cost sensitivity. A scale of `0.0` produces a fully
+/// inelastic population — the control arm of any incentive experiment.
+/// Deterministic for a `(n, seed, elasticity_scale)` triple.
+pub fn market_population(n: usize, seed: u64, elasticity_scale: f64) -> Vec<MarketAgent> {
+    AgentProfile::population(n, seed)
+        .into_iter()
+        .map(|profile| MarketAgent {
+            elasticity: elasticity_scale * profile.cost_sensitivity / MEAN_COST_SENSITIVITY,
+            // Patient users (low time sensitivity) tolerate longer
+            // submission delays: 12–48 whole hours of deadline slack.
+            slack_hours: ((12.0 / profile.time_sensitivity).round() as u32).clamp(6, 48),
+        })
+        .collect()
+}
+
+/// Reads the population elasticity a completed user study implies: the
+/// relative V3-vs-V1 energy reduction, scaled so the paper's ~10 % effect
+/// maps to an elasticity of 1. Returns `0.0` when the study shows no
+/// effect (or a backwards one).
+pub fn implied_elasticity(analysis: &StudyAnalysis) -> f64 {
+    let mean_energy = |version: Version| -> Option<f64> {
+        analysis
+            .summaries
+            .iter()
+            .find(|s| s.version == version)
+            .map(|s| s.mean_energy_kwh)
+    };
+    let (Some(v1), Some(v3)) = (mean_energy(Version::V1), mean_energy(Version::V3)) else {
+        return 0.0;
+    };
+    if v1 <= 0.0 {
+        return 0.0;
+    }
+    (((v1 - v3) / v1) / 0.10).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_userstudy::{Study, StudyConfig};
+
+    #[test]
+    fn population_is_deterministic_and_scales() {
+        let a = market_population(40, 9, 1.0);
+        let b = market_population(40, 9, 1.0);
+        assert_eq!(a, b);
+        let mean: f64 = a.iter().map(|m| m.elasticity).sum::<f64>() / a.len() as f64;
+        assert!(
+            (mean - 1.0).abs() < 0.25,
+            "mean elasticity ≈ scale, got {mean}"
+        );
+        let doubled = market_population(40, 9, 2.0);
+        for (one, two) in a.iter().zip(&doubled) {
+            assert!((two.elasticity - 2.0 * one.elasticity).abs() < 1e-12);
+            assert_eq!(one.slack_hours, two.slack_hours);
+        }
+        assert!(a.iter().all(|m| (6..=48).contains(&m.slack_hours)));
+        // Heterogeneous, not a point mass.
+        let min = a.iter().map(|m| m.elasticity).fold(f64::MAX, f64::min);
+        let max = a.iter().map(|m| m.elasticity).fold(f64::MIN, f64::max);
+        assert!(max - min > 0.2);
+    }
+
+    #[test]
+    fn zero_scale_is_fully_inelastic() {
+        assert!(market_population(20, 3, 0.0)
+            .iter()
+            .all(|m| m.elasticity == 0.0));
+    }
+
+    #[test]
+    fn study_implies_a_positive_elasticity() {
+        // A small but real study run: V3's price signal reduces energy,
+        // so the implied elasticity must be positive.
+        let analysis = StudyAnalysis::of(&Study::run(StudyConfig {
+            participants: 24,
+            ..StudyConfig::default()
+        }));
+        assert!(implied_elasticity(&analysis) > 0.0);
+    }
+}

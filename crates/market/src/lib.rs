@@ -1,0 +1,43 @@
+//! green-market: a sharded carbon-credit market with dynamic pricing and
+//! an adaptive-user incentive loop.
+//!
+//! The paper's core claim is that carbon-aware accounting *changes user
+//! behavior* (Sections 3.1 and 5.3, and the Figure 6 exchange-rate
+//! mechanism). This crate closes that incentive loop around the batch
+//! simulator, in four layers:
+//!
+//! 1. **[`store`]** — a sharded, concurrent credit ledger
+//!    ([`ShardedLedger`]) behind the
+//!    [`CreditStore`](green_accounting::CreditStore) trait, so it is a
+//!    drop-in replacement for the single-lock
+//!    [`Ledger`](green_accounting::Ledger) wherever credits are held
+//!    and settled.
+//! 2. **[`pricing`]** — a dynamic pricing engine compiling
+//!    carbon-intensity traces into posted hourly price schedules
+//!    ([`PriceSpec`], [`price_table`]): carbon-indexed multipliers and
+//!    time-of-use discounts, precomputed for the whole simulated year.
+//! 3. **[`desk`]** — the exchange desk ([`ExchangeDesk`], empirical
+//!    cross-method rates) and per-period credit banking with a cap and
+//!    decay ([`CreditBank`]), plus hold/settle plumbing built on
+//!    `debit_up_to`.
+//! 4. **[`agents`]** — adaptive agent populations seeded from the user
+//!    study's behavioral profiles ([`market_population`],
+//!    [`implied_elasticity`]), consumed by the simulator's `Adaptive`
+//!    policy as `green_batchsim::MarketInputs`.
+//!
+//! [`replay::settle_run`] ties the layers together: a finished
+//! simulation run is settled through any `CreditStore` at posted prices,
+//! with savings banked — the workload `green-scenarios` sweeps over the
+//! new elasticity / price-schedule / banking axes.
+
+pub mod agents;
+pub mod desk;
+pub mod pricing;
+pub mod replay;
+pub mod store;
+
+pub use agents::{implied_elasticity, market_population};
+pub use desk::{settle, CreditBank, ExchangeDesk};
+pub use pricing::{price_table, PriceSpec};
+pub use replay::{settle_run, MarketRun};
+pub use store::ShardedLedger;

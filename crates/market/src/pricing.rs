@@ -1,0 +1,226 @@
+//! The dynamic pricing engine: carbon traces in, posted prices out.
+//!
+//! A [`PriceSpec`] names a pricing policy; [`price_table`] compiles it
+//! against each machine's `HourlyTrace` into a precomputed year of hourly
+//! multipliers (a [`PriceTable`]) so the simulator's inner loop does a
+//! single wrapped array lookup per quote, never a formula evaluation.
+//! This is the Figure 6 exchange-rate idea pushed to the hour scale:
+//! instead of one static rate between methods, the *posted* price of an
+//! hour tracks how dirty that hour's grid actually is.
+
+use green_batchsim::PriceTable;
+use green_carbon::HourlyTrace;
+
+/// A pricing policy, in sweep-file spelling.
+///
+/// * `flat` — every hour costs the base method charge (multiplier 1.0).
+/// * `carbon:<w>` — carbon-indexed: hours dirtier than the machine's
+///   annual mean cost more, cleaner hours cost less, scaled by weight
+///   `w` (`multiplier = 1 + w·(I_h − Ī)/Ī`, clamped to `[0.25, 4.0]`).
+/// * `tou:<d>` — time-of-use: the cleanest quartile of hours is
+///   discounted by `d`, the dirtiest quartile surcharged by `d`.
+///
+/// Weights are stored in permille so the spec is `Copy + Eq` and its
+/// label round-trips exactly through sweep CSVs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PriceSpec {
+    /// Posted price equals the base charge everywhere.
+    Flat,
+    /// Carbon-indexed multipliers with the given weight (permille).
+    CarbonIndexed {
+        /// Weight `w` × 1000.
+        weight_permille: u32,
+    },
+    /// Off-peak discount / on-peak surcharge (permille).
+    TimeOfDay {
+        /// Discount `d` × 1000.
+        discount_permille: u32,
+    },
+}
+
+impl PriceSpec {
+    /// Parses a sweep-file pricing token (`flat`, `carbon:<w>`,
+    /// `tou:<d>`).
+    pub fn parse(token: &str) -> Result<PriceSpec, String> {
+        let t = token.trim().to_ascii_lowercase();
+        if t == "flat" {
+            return Ok(PriceSpec::Flat);
+        }
+        if let Some(rest) = t.strip_prefix("carbon:") {
+            let w: f64 = rest
+                .parse()
+                .map_err(|_| format!("bad carbon weight in `{token}`"))?;
+            if !(0.0..=3.0).contains(&w) {
+                return Err(format!("carbon weight must be in [0, 3], got `{token}`"));
+            }
+            return Ok(PriceSpec::CarbonIndexed {
+                weight_permille: (w * 1000.0).round() as u32,
+            });
+        }
+        if let Some(rest) = t.strip_prefix("tou:") {
+            let d: f64 = rest
+                .parse()
+                .map_err(|_| format!("bad time-of-use discount in `{token}`"))?;
+            if !(0.0..0.75).contains(&d) {
+                return Err(format!(
+                    "time-of-use discount must be in [0, 0.75), got `{token}`"
+                ));
+            }
+            return Ok(PriceSpec::TimeOfDay {
+                discount_permille: (d * 1000.0).round() as u32,
+            });
+        }
+        Err(format!(
+            "unknown price schedule `{token}` (expected flat|carbon:<w>|tou:<d>)"
+        ))
+    }
+
+    /// Stable label used in CSV/table output; parses back via
+    /// [`PriceSpec::parse`].
+    pub fn label(self) -> String {
+        match self {
+            PriceSpec::Flat => "flat".into(),
+            PriceSpec::CarbonIndexed { weight_permille } => {
+                format!("carbon:{:.3}", weight_permille as f64 / 1000.0)
+            }
+            PriceSpec::TimeOfDay { discount_permille } => {
+                format!("tou:{:.3}", discount_permille as f64 / 1000.0)
+            }
+        }
+    }
+
+    /// True for the identity schedule (no market pressure).
+    pub fn is_flat(self) -> bool {
+        matches!(self, PriceSpec::Flat)
+            || matches!(self, PriceSpec::CarbonIndexed { weight_permille: 0 })
+            || matches!(
+                self,
+                PriceSpec::TimeOfDay {
+                    discount_permille: 0
+                }
+            )
+    }
+}
+
+/// Multiplier clamp bounds: a posted price never strays beyond these
+/// factors of the base charge, however wild the trace.
+const CLAMP: (f64, f64) = (0.25, 4.0);
+
+/// Compiles a pricing policy against one intensity trace into a year of
+/// hourly multipliers.
+fn compile(trace: &HourlyTrace, spec: PriceSpec) -> Vec<f64> {
+    let values = trace.values();
+    match spec {
+        PriceSpec::Flat => vec![1.0],
+        PriceSpec::CarbonIndexed { weight_permille } => {
+            let w = weight_permille as f64 / 1000.0;
+            let mean = trace.mean().as_g_per_kwh().max(1e-9);
+            values
+                .iter()
+                .map(|i| (1.0 + w * (i - mean) / mean).clamp(CLAMP.0, CLAMP.1))
+                .collect()
+        }
+        PriceSpec::TimeOfDay { discount_permille } => {
+            let d = discount_permille as f64 / 1000.0;
+            let mut sorted: Vec<f64> = values.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            let q25 = sorted[sorted.len() / 4];
+            let q75 = sorted[(sorted.len() * 3) / 4];
+            values
+                .iter()
+                .map(|i| {
+                    if *i <= q25 {
+                        1.0 - d
+                    } else if *i >= q75 {
+                        1.0 + d
+                    } else {
+                        1.0
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Builds the posted price table for a fleet: one compiled multiplier
+/// series per machine, index-aligned with `traces`. The whole year is
+/// precomputed here, once per (fleet, schedule) pair — quote-time lookups
+/// are `O(1)` array reads.
+pub fn price_table(traces: &[HourlyTrace], spec: PriceSpec) -> PriceTable {
+    PriceTable::new(traces.iter().map(|t| compile(t, spec)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_units::TimePoint;
+
+    fn trace() -> HourlyTrace {
+        // Two days: clean nights (100), dirty days (300).
+        let values: Vec<f64> = (0..48)
+            .map(|h| if (h % 24) < 12 { 100.0 } else { 300.0 })
+            .collect();
+        HourlyTrace::new(values)
+    }
+
+    #[test]
+    fn tokens_roundtrip() {
+        for token in ["flat", "carbon:0.500", "tou:0.250"] {
+            let spec = PriceSpec::parse(token).unwrap();
+            assert_eq!(PriceSpec::parse(&spec.label()).unwrap(), spec);
+        }
+        assert!(PriceSpec::parse("surge").is_err());
+        assert!(PriceSpec::parse("carbon:-1").is_err());
+        assert!(PriceSpec::parse("carbon:9").is_err());
+        assert!(PriceSpec::parse("tou:0.9").is_err());
+        assert!(PriceSpec::Flat.is_flat());
+        assert!(PriceSpec::parse("carbon:0").unwrap().is_flat());
+        assert!(!PriceSpec::parse("carbon:0.5").unwrap().is_flat());
+    }
+
+    #[test]
+    fn carbon_indexed_tracks_the_trace() {
+        let table = price_table(
+            &[trace()],
+            PriceSpec::CarbonIndexed {
+                weight_permille: 1000,
+            },
+        );
+        let clean = table.multiplier_at(0, TimePoint::from_secs(0.0));
+        let dirty = table.multiplier_at(0, TimePoint::from_secs(13.0 * 3600.0));
+        assert!(clean < 1.0 && dirty > 1.0);
+        // Mean intensity 200: clean hours price at 1 − 100/200 = 0.5,
+        // dirty at 1 + 100/200 = 1.5.
+        assert!((clean - 0.5).abs() < 1e-9);
+        assert!((dirty - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_of_day_discounts_clean_quartile() {
+        let table = price_table(
+            &[trace()],
+            PriceSpec::TimeOfDay {
+                discount_permille: 200,
+            },
+        );
+        let clean = table.multiplier_at(0, TimePoint::from_secs(0.0));
+        let dirty = table.multiplier_at(0, TimePoint::from_secs(13.0 * 3600.0));
+        assert!((clean - 0.8).abs() < 1e-9);
+        assert!((dirty - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_weights_stay_clamped() {
+        let spiky = HourlyTrace::new(vec![1.0, 10_000.0]);
+        let table = price_table(
+            &[spiky],
+            PriceSpec::CarbonIndexed {
+                weight_permille: 3000,
+            },
+        );
+        let low = table.multiplier_at(0, TimePoint::from_secs(0.0));
+        let high = table.multiplier_at(0, TimePoint::from_secs(3600.0));
+        assert!((CLAMP.0..=CLAMP.1).contains(&low));
+        assert!((CLAMP.0..=CLAMP.1).contains(&high));
+    }
+}

@@ -1,0 +1,203 @@
+//! Market settlement of a simulated run: the ledger on the hot path.
+//!
+//! [`settle_run`] replays a run's [`JobOutcome`]s through a
+//! [`CreditStore`] at posted prices, the way the platform settles live
+//! invocations: an admission hold at the arrival-hour price, a release +
+//! `debit_up_to` settlement at the start-hour price, and banking of any
+//! off-peak savings (with the bank's cap and daily decay). The function
+//! is backend-agnostic — feeding the same run through the single-lock
+//! and sharded stores must produce identical snapshots, which the
+//! determinism suite asserts.
+
+use green_accounting::CreditStore;
+use green_batchsim::{JobOutcome, PriceTable};
+use green_units::{Credits, TimePoint};
+
+use crate::desk::{settle, CreditBank};
+
+/// Aggregate result of settling one run through the market.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketRun {
+    /// Credits collected at posted prices.
+    pub posted_spent: f64,
+    /// What the same jobs would have cost without the market (base
+    /// method charges).
+    pub raw_spent: f64,
+    /// Credits left banked after the final period's decay.
+    pub banked: f64,
+    /// Posted charges the users' balances could not cover.
+    pub shortfall: f64,
+}
+
+/// Settles every outcome of a run through `store` at posted prices.
+///
+/// Users are granted equal budgets sized `budget_factor` × the mean
+/// posted demand, so heavy users genuinely exhaust their allocation and
+/// exercise the `debit_up_to` clamp. Savings relative to the base charge
+/// are banked per user; the bank closes a period at every simulated-day
+/// boundary. Outcomes are processed in completion order (ties broken by
+/// job id), so the operation stream — and therefore the final store
+/// snapshot — is a pure function of the run.
+pub fn settle_run(
+    outcomes: &[JobOutcome],
+    method_index: usize,
+    prices: &PriceTable,
+    store: &dyn CreditStore,
+    bank: &mut CreditBank,
+    budget_factor: f64,
+) -> MarketRun {
+    let mut order: Vec<&JobOutcome> = outcomes.iter().collect();
+    order.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.job.cmp(&b.job)));
+
+    let posted = |o: &JobOutcome, at_s: f64| -> f64 {
+        o.charges[method_index]
+            * prices.multiplier_at(o.machine as usize, TimePoint::from_secs(at_s))
+    };
+
+    // Equal per-user budgets from total posted demand at start prices.
+    let mut users: Vec<u32> = order.iter().map(|o| o.user).collect();
+    users.sort_unstable();
+    users.dedup();
+    if users.is_empty() {
+        return MarketRun {
+            posted_spent: 0.0,
+            raw_spent: 0.0,
+            banked: 0.0,
+            shortfall: 0.0,
+        };
+    }
+    let total_posted: f64 = order.iter().map(|o| posted(o, o.start_s)).sum();
+    let budget = Credits::new(budget_factor * total_posted / users.len() as f64);
+    for user in &users {
+        store.grant(&format!("u{user}"), budget);
+    }
+
+    let mut raw_spent = 0.0;
+    let mut shortfall = 0.0;
+    let mut day = 0u64;
+    for o in order {
+        // Close banking periods up to this completion's day.
+        let completed_day = (o.end_s / 86_400.0).floor().max(0.0) as u64;
+        while day < completed_day {
+            bank.end_period();
+            day += 1;
+        }
+
+        let owner = format!("u{}", o.user);
+        let label = format!("job-{}", o.job);
+        let raw = o.charges[method_index];
+        let hold = Credits::new(posted(o, o.arrival_s));
+        let actual = Credits::new(posted(o, o.start_s));
+        let at = TimePoint::from_secs(o.end_s);
+
+        // Admission: hold what the arrival-hour quote says, capped by the
+        // balance (the simulator already admitted the job; the market
+        // collects, it does not un-run work).
+        let held = store
+            .debit_up_to(&owner, hold, at, &format!("hold {label}"))
+            .unwrap_or(Credits::ZERO);
+        let (_, short) = settle(store, &owner, held, actual, at, &label);
+        raw_spent += raw;
+        shortfall += short.value();
+
+        // Off-peak savings are banked, up to the cap — priced as the gap
+        // between the base charge and the *posted* price, and only for
+        // users who actually paid in full. An exhausted balance is
+        // insolvency, not savings.
+        let saving = raw - actual.value();
+        if saving > 0.0 && short.value() <= 0.0 {
+            bank.deposit(&owner, saving);
+        }
+    }
+    bank.end_period();
+
+    MarketRun {
+        posted_spent: store.total_spent().value(),
+        raw_spent,
+        banked: bank.total(),
+        shortfall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ShardedLedger;
+    use green_accounting::LockedLedger;
+
+    fn outcome(
+        job: u32,
+        user: u32,
+        machine: u32,
+        arrival_h: f64,
+        start_h: f64,
+        cost: f64,
+    ) -> JobOutcome {
+        JobOutcome {
+            job,
+            user,
+            machine,
+            cores: 4,
+            arrival_s: arrival_h * 3600.0,
+            start_s: start_h * 3600.0,
+            end_s: start_h * 3600.0 + 1800.0,
+            energy_kwh: 1.0,
+            charges: [cost; 5],
+            op_carbon_g: 10.0,
+            attributed_g: 12.0,
+            work_core_hours: 2.0,
+        }
+    }
+
+    fn run() -> Vec<JobOutcome> {
+        // Hour 0 is expensive (×2), hour 1 cheap (×0.5).
+        vec![
+            outcome(0, 0, 0, 0.0, 0.0, 100.0), // pays 200 posted
+            outcome(1, 1, 0, 0.0, 1.0, 100.0), // shifted: pays 50, saves 50
+            outcome(2, 0, 0, 1.0, 1.0, 60.0),  // cheap hour: pays 30, saves 30
+        ]
+    }
+
+    fn prices() -> PriceTable {
+        PriceTable::new(vec![vec![2.0, 0.5]])
+    }
+
+    #[test]
+    fn settles_at_posted_prices_and_banks_savings() {
+        let store = LockedLedger::new();
+        let mut bank = CreditBank::new(1_000.0, 0.0);
+        let result = settle_run(&run(), 0, &prices(), &store, &mut bank, 2.0);
+        assert!((result.raw_spent - 260.0).abs() < 1e-9);
+        assert!((result.posted_spent - 280.0).abs() < 1e-9);
+        assert!(
+            (result.shortfall).abs() < 1e-9,
+            "generous budgets: no shortfall"
+        );
+        // u1 banks 50, u0 banks 30 (job 2) and nothing on job 0.
+        assert!((result.banked - 80.0).abs() < 1e-9);
+        assert!((bank.balance("u1") - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_budgets_clamp_via_debit_up_to() {
+        let store = LockedLedger::new();
+        let mut bank = CreditBank::new(0.0, 0.0);
+        // budget_factor 0.5: per-user budget 70, total 140 < 280 posted.
+        let result = settle_run(&run(), 0, &prices(), &store, &mut bank, 0.5);
+        assert!(result.shortfall > 0.0);
+        assert!((result.posted_spent + result.shortfall - 280.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backends_settle_identically() {
+        let locked = LockedLedger::new();
+        let sharded = ShardedLedger::new(8);
+        let mut bank_a = CreditBank::new(100.0, 0.1);
+        let mut bank_b = CreditBank::new(100.0, 0.1);
+        let a = settle_run(&run(), 0, &prices(), &locked, &mut bank_a, 1.2);
+        let b = settle_run(&run(), 0, &prices(), &sharded, &mut bank_b, 1.2);
+        assert_eq!(a, b);
+        assert_eq!(locked.snapshot(), sharded.snapshot());
+        assert_eq!(locked.transactions(), sharded.transactions());
+    }
+}

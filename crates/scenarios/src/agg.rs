@@ -81,6 +81,10 @@ pub struct CellSummary {
     pub work_core_h: Aggregate,
     /// Fleet utilization: busy core-time / (capacity × makespan).
     pub utilization: Aggregate,
+    /// Credits collected at posted market prices (0 without a market).
+    pub posted_credits: Aggregate,
+    /// Credits banked from off-peak savings (cap and decay applied).
+    pub banked_credits: Aggregate,
 }
 
 impl CellSummary {
@@ -103,6 +107,8 @@ impl CellSummary {
             makespan_h: pick(|m| m.makespan_h),
             work_core_h: pick(|m| m.work_core_h),
             utilization: pick(|m| m.utilization),
+            posted_credits: pick(|m| m.posted_credits),
+            banked_credits: pick(|m| m.banked_credits),
         }
     }
 }
@@ -119,7 +125,7 @@ pub struct SweepResults {
 }
 
 /// CSV header row for [`SweepResults::csv_rows`].
-pub const CSV_HEADERS: [&str; 28] = [
+pub const CSV_HEADERS: [&str; 34] = [
     "policy",
     "method",
     "fleet",
@@ -128,6 +134,9 @@ pub const CSV_HEADERS: [&str; 28] = [
     "backfill_depth",
     "workload_scale",
     "intensity_scale",
+    "elasticity",
+    "price_schedule",
+    "banking_cap",
     "replicates",
     "completed_mean",
     "rejected_mean",
@@ -148,6 +157,9 @@ pub const CSV_HEADERS: [&str; 28] = [
     "makespan_h_mean",
     "work_core_h_mean",
     "utilization_mean",
+    "posted_credits_mean",
+    "posted_credits_ci95",
+    "banked_credits_mean",
 ];
 
 fn sig(v: f64) -> String {
@@ -181,6 +193,9 @@ impl SweepResults {
                 row.push(sig(c.makespan_h.mean));
                 row.push(sig(c.work_core_h.mean));
                 row.push(sig(c.utilization.mean));
+                row.push(sig(c.posted_credits.mean));
+                row.push(sig(c.posted_credits.ci95));
+                row.push(sig(c.banked_credits.mean));
                 row
             })
             .collect()
@@ -228,6 +243,7 @@ impl SweepResults {
                         c.attr_carbon_kg.mean, c.attr_carbon_kg.ci95
                     ),
                     format!("{:.3e}", c.credits.mean),
+                    format!("{:.3e}", c.posted_credits.mean),
                     format!("{:.2}", c.mean_wait_h.mean),
                     format!("{:.1}%", c.utilization.mean * 100.0),
                 ]
@@ -251,6 +267,7 @@ impl SweepResults {
                 "Energy (MWh)",
                 "Carbon (kg)",
                 "Credits",
+                "Posted",
                 "Wait (h)",
                 "Util",
             ],

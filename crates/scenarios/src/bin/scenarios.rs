@@ -3,27 +3,35 @@
 //! ```text
 //! scenarios <sweep.toml> [options]
 //!
-//!   --out <file.csv>   write per-cell aggregates (with CIs) as CSV
-//!   --threads <n>      worker threads (default: all cores)
-//!   --list             print the expanded cells and exit without running
-//!   --quiet            suppress the progress line
+//!   --out <file.csv>     write per-cell aggregates (with CIs) as CSV
+//!   --threads <n>        worker threads (default: all cores)
+//!   --filter <substr>    only run cells whose label contains <substr>
+//!   --list               print the expanded cells and exit without running
+//!   --quiet              suppress the progress line
 //! ```
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use green_scenarios::{Sweep, SweepRunner};
+use green_scenarios::{cell_label, Sweep, SweepRunner};
 
 const USAGE: &str = "\
 scenarios — parallel Monte-Carlo scenario sweeps over the batch simulator
 
 USAGE:
-    scenarios <sweep.toml> [--out <file.csv>] [--threads <n>] [--list] [--quiet]
+    scenarios <sweep.toml> [--out <file.csv>] [--threads <n>]
+              [--filter <substr>] [--list] [--quiet]
 
 The sweep file declares a Cartesian grid (policies × methods × fleets ×
-sim-years × users × backfill × workload scale × intensity scale) and a
-set of Monte-Carlo replicate seeds; see examples/sweeps/ in the
-repository for worked specs.
+sim-years × users × backfill × workload scale × intensity scale ×
+elasticity × price schedule × banking cap) and a set of Monte-Carlo
+replicate seeds; see examples/sweeps/ in the repository for worked
+specs.
+
+--filter runs only the grid configurations whose label (the `/`-joined
+config columns, e.g. `adaptive/cba/0+1+2+3/2023/24/64/1.000/1.000/
+1.00/carbon:0.600/100.0`) contains the given substring — handy to
+iterate on one cell of a large grid.
 ";
 
 fn fail(message: &str) -> ! {
@@ -41,6 +49,7 @@ fn main() {
     let mut sweep_path: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut threads = 0usize;
+    let mut filter: Option<String> = None;
     let mut list = false;
     let mut quiet = false;
     let mut it = args.iter();
@@ -59,6 +68,12 @@ fn main() {
                 threads = v
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("bad thread count `{v}`")));
+            }
+            "--filter" => {
+                let Some(v) = it.next() else {
+                    fail("--filter needs a label substring");
+                };
+                filter = Some(v.clone());
             }
             "--list" => list = true,
             "--quiet" => quiet = true,
@@ -90,20 +105,11 @@ fn main() {
             sweep.cell_count()
         );
         for cell in sweep.expand() {
-            let s = &cell.spec;
-            println!(
-                "  [{:>4}] policy={} method={} fleet={:?} year={} users={} backfill={} wscale={} iscale={} seed={}",
-                cell.index,
-                s.policy.label(),
-                s.method.label(),
-                s.fleet,
-                s.sim_year,
-                s.users,
-                s.backfill_depth,
-                s.workload_scale,
-                s.intensity_scale,
-                s.seed,
-            );
+            let label = cell_label(&cell.spec);
+            if filter.as_deref().is_some_and(|f| !label.contains(f)) {
+                continue;
+            }
+            println!("  [{:>4}] {label} seed={}", cell.index, cell.spec.seed);
         }
         return;
     }
@@ -111,10 +117,14 @@ fn main() {
     let runner = SweepRunner::new(threads);
     if !quiet {
         eprintln!(
-            "running sweep `{}`: {} cells on {} threads…",
+            "running sweep `{}`: {} cells on {} threads{}…",
             sweep.name,
             sweep.cell_count(),
-            runner.threads()
+            runner.threads(),
+            filter
+                .as_deref()
+                .map(|f| format!(" (filter: `{f}`)"))
+                .unwrap_or_default()
         );
     }
     let last_printed = AtomicUsize::new(0);
@@ -130,7 +140,16 @@ fn main() {
             eprintln!("  {done}/{total} cells");
         }
     };
-    let results = runner.run_with_progress(&sweep, if quiet { None } else { Some(&progress) });
+    let results = runner.run_filtered(
+        &sweep,
+        filter.as_deref(),
+        if quiet { None } else { Some(&progress) },
+    );
+    if results.cells.is_empty() {
+        if let Some(f) = filter.as_deref() {
+            eprintln!("warning: filter `{f}` matched no cells");
+        }
+    }
 
     print!("{}", results.render());
     if let Some(out) = out {

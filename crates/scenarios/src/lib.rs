@@ -15,7 +15,10 @@
 //! * [`Sweep`] — the grammar: every axis a list, cells their Cartesian
 //!   product, each replicated over N Monte-Carlo seeds; loadable from
 //!   TOML ([`Sweep::from_toml_str`]) via the vendored mini-parser in
-//!   [`toml`];
+//!   [`toml`]. The market axes (`elasticities`, `price_schedules`,
+//!   `banking_caps`) sweep `green-market`'s incentive loop: posted
+//!   dynamic prices, elastic agents re-timing their submissions, and
+//!   per-cell settlement through the sharded credit store;
 //! * [`SweepRunner`] — the parallel driver: trace and placement tables
 //!   are built once and shared across scoped worker threads by
 //!   reference; per-replicate intensity realizations are derived inside
@@ -52,6 +55,6 @@ pub mod sweep;
 pub mod toml;
 
 pub use agg::{Aggregate, CellSummary, SweepResults, CSV_HEADERS};
-pub use runner::{CellMetrics, SweepRunner, SweepWorld};
+pub use runner::{cell_label, CellMetrics, SweepRunner, SweepWorld};
 pub use spec::{fleet_index, MethodSpec, PolicySpec, ScenarioSpec, SpecError};
 pub use sweep::{Cell, Sweep, WorkloadConfig, WorkloadPreset};

@@ -18,9 +18,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use green_batchsim::{intensity_for, run_cell, PlacementTable, RunMetrics, SimConfig};
+use green_batchsim::{
+    intensity_for, run_cell, MarketInputs, PlacementTable, RunMetrics, SimConfig,
+};
 use green_carbon::HourlyTrace;
 use green_machines::{simulation_fleet, FleetMachine};
+use green_market::{market_population, price_table, settle_run, CreditBank, ShardedLedger};
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
 use green_workload::Trace;
 
@@ -51,6 +54,11 @@ pub struct CellMetrics {
     pub work_core_h: f64,
     /// Busy core-time over fleet capacity × makespan.
     pub utilization: f64,
+    /// Credits collected at posted market prices (0 when the cell has no
+    /// market).
+    pub posted_credits: f64,
+    /// Credits banked from off-peak savings after cap and decay.
+    pub banked_credits: f64,
 }
 
 impl CellMetrics {
@@ -80,6 +88,8 @@ impl CellMetrics {
             makespan_h,
             work_core_h: metrics.total_work(),
             utilization,
+            posted_credits: 0.0,
+            banked_credits: 0.0,
         }
     }
 }
@@ -107,6 +117,9 @@ pub struct SweepWorld {
     pub fleet: Vec<FleetMachine>,
     /// One slice per distinct `users` axis value.
     pub populations: Vec<PopulationWorld>,
+    /// Seed for the market agent population (the workload seed, so the
+    /// same simulated people submit the jobs and react to prices).
+    pub agent_seed: u64,
 }
 
 impl SweepWorld {
@@ -170,7 +183,11 @@ impl SweepWorld {
             });
         }
 
-        SweepWorld { fleet, populations }
+        SweepWorld {
+            fleet,
+            populations,
+            agent_seed: sweep.workload.seed,
+        }
     }
 
     fn population_for(&self, users: u32) -> &PopulationWorld {
@@ -211,12 +228,29 @@ impl SweepWorld {
                 }
             })
             .collect();
+        // The market, when active: posted prices compiled against this
+        // cell's intensity realization, agents seeded from the shared
+        // workload seed and scaled by the cell's elasticity.
+        // One compiled price table per market cell; cloned once into the
+        // simulator inputs (only when the market actually drives
+        // decisions — settlement-only cells must simulate identically to
+        // their no-market counterparts), with this copy kept for
+        // settlement below.
+        let prices = spec
+            .market_active()
+            .then(|| price_table(&intensity, spec.price_schedule));
         let config = SimConfig {
             policy: spec.policy.to_policy(),
             decision_method: spec.method.to_method(),
             sim_year: spec.sim_year,
             users: spec.users,
             backfill_depth: spec.backfill_depth,
+            market: spec.market_drives_decisions().then(|| MarketInputs {
+                prices: prices.clone().expect("prices exist when market is active"),
+                agents: market_population(spec.users as usize, self.agent_seed, spec.elasticity),
+                max_delay_hours: MAX_DELAY_HOURS,
+                shift_threshold: SHIFT_THRESHOLD,
+            }),
         };
         let metrics = run_cell(trace, sub_fleet, sub_table, &intensity, config);
         let capacity: f64 = sub_fleet
@@ -229,12 +263,75 @@ impl SweepWorld {
                 }
             })
             .sum();
-        CellMetrics::of(&metrics, spec, capacity)
+        let mut cell = CellMetrics::of(&metrics, spec, capacity);
+        if let Some(prices) = &prices {
+            // Settle the run through the sharded store: the ledger on
+            // the hot path, per cell, with banking of off-peak savings.
+            let store = ShardedLedger::new(8);
+            let mut bank = CreditBank::new(spec.banking_cap, BANK_DECAY);
+            let run = settle_run(
+                &metrics.outcomes,
+                spec.method.cost_index(),
+                prices,
+                &store,
+                &mut bank,
+                BUDGET_FACTOR,
+            );
+            cell.posted_credits = run.posted_spent;
+            cell.banked_credits = run.banked;
+        }
+        cell
     }
 }
 
+/// Daily decay applied to banked savings in market cells.
+const BANK_DECAY: f64 = 0.05;
+
+/// Market-wide cap on any agent's submission delay.
+const MAX_DELAY_HOURS: u32 = 24;
+
+/// Base relative saving required before an agent shifts; an agent's
+/// effective threshold is this over their elasticity, so the
+/// `elasticities` axis genuinely grades how much of the population
+/// responds (at 0.10, unit-elastic users need a 10 % posted saving).
+const SHIFT_THRESHOLD: f64 = 0.10;
+
+/// Per-user budget headroom over the mean posted demand in market
+/// settlement (1.25 = 25 % slack; heavy users still hit the
+/// `debit_up_to` clamp).
+const BUDGET_FACTOR: f64 = 1.25;
+
 /// Progress callback: `(cells_done, cells_total)` after each cell.
 pub type ProgressFn = dyn Fn(usize, usize) + Sync;
+
+/// The `/`-joined label a `--filter` substring is matched against.
+pub fn cell_label(spec: &ScenarioSpec) -> String {
+    spec.config_label().join("/")
+}
+
+/// The distinct values of one cell attribute, in first-seen order.
+fn dedup_by<T: PartialEq>(cells: &[Cell], f: impl Fn(&Cell) -> T) -> Vec<T> {
+    let mut values: Vec<T> = Vec::new();
+    for cell in cells {
+        let value = f(cell);
+        if !values.contains(&value) {
+            values.push(value);
+        }
+    }
+    values
+}
+
+/// Keeps only the cells of configurations whose label matches `filter`
+/// (case-sensitive substring; `None`/empty keeps everything).
+fn filter_cells(cells: Vec<Cell>, filter: Option<&str>) -> Vec<Cell> {
+    let Some(filter) = filter.filter(|f| !f.is_empty()) else {
+        return cells;
+    };
+    cells
+        .into_iter()
+        .filter(|c| cell_label(&c.spec).contains(filter))
+        .collect()
+}
 
 /// The parallel sweep driver.
 pub struct SweepRunner {
@@ -275,9 +372,32 @@ impl SweepRunner {
 
     /// [`run`](SweepRunner::run) with an optional progress callback.
     pub fn run_with_progress(&self, sweep: &Sweep, progress: Option<&ProgressFn>) -> SweepResults {
+        self.run_filtered(sweep, None, progress)
+    }
+
+    /// Runs only the grid configurations whose label (the `/`-joined
+    /// [`ScenarioSpec::config_label`]) contains `filter` — the
+    /// iterate-on-one-axis workflow of `scenarios --filter`. A `None`
+    /// (or empty) filter runs everything; matching configurations keep
+    /// their full replicate sets and expansion order.
+    pub fn run_filtered(
+        &self,
+        sweep: &Sweep,
+        filter: Option<&str>,
+        progress: Option<&ProgressFn>,
+    ) -> SweepResults {
         sweep.validate().expect("invalid sweep");
-        let world = SweepWorld::build(sweep);
-        let cells = sweep.expand();
+        let cells = filter_cells(sweep.expand(), filter);
+        // Build only the world slices the surviving cells reach — the
+        // point of `--filter` is fast iteration, so a one-cell filter
+        // must not pay for every population/scale/fleet of the full
+        // grid. The retained variants are bit-identical to the ones the
+        // unfiltered sweep would build (same seeds, same dedup).
+        let mut needed = sweep.clone();
+        needed.users = dedup_by(&cells, |c| c.spec.users);
+        needed.workload_scales = dedup_by(&cells, |c| c.spec.workload_scale);
+        needed.fleets = dedup_by(&cells, |c| c.spec.fleet.clone());
+        let world = SweepWorld::build(&needed);
         let n = cells.len();
         let results = self.execute(&world, &cells, progress);
 
@@ -410,6 +530,43 @@ mod tests {
             assert!(cell.credits.mean > 0.0);
             assert!(cell.utilization.mean > 0.0 && cell.utilization.mean <= 1.0);
         }
+    }
+
+    #[test]
+    fn filtered_runs_match_the_full_sweep() {
+        let sweep = tiny_sweep();
+        let full = SweepRunner::new(1).run(&sweep);
+        // Filtering to one policy reproduces that configuration's
+        // aggregate bit for bit (the narrowed world builds the same
+        // shared artifacts).
+        let filtered = SweepRunner::new(1).run_filtered(&sweep, Some("eft/"), None);
+        assert_eq!(filtered.cells.len(), 1);
+        assert_eq!(filtered.cells[0], full.cells[1]);
+        // A filter that matches nothing runs nothing.
+        let none = SweepRunner::new(1).run_filtered(&sweep, Some("no-such-cell"), None);
+        assert!(none.cells.is_empty());
+    }
+
+    #[test]
+    fn banking_axis_does_not_perturb_the_simulation() {
+        // The banking cap is settlement-only: a greedy/flat-price cell
+        // with banking enabled must place, time, and charge every job
+        // exactly like its no-market twin — only the settlement columns
+        // may differ.
+        let mut sweep = tiny_sweep();
+        sweep.policies = vec![PolicySpec::Greedy];
+        sweep.methods = vec![MethodSpec::Cba];
+        sweep.seeds = vec![1];
+        sweep.banking_caps = vec![0.0, 50.0];
+        let results = SweepRunner::new(1).run(&sweep);
+        let (off, on) = (&results.cells[0], &results.cells[1]);
+        assert_eq!(off.energy_mwh, on.energy_mwh);
+        assert_eq!(off.attr_carbon_kg, on.attr_carbon_kg);
+        assert_eq!(off.mean_wait_h, on.mean_wait_h);
+        assert_eq!(off.credits, on.credits);
+        assert_eq!(off.posted_credits.mean, 0.0, "no market, no settlement");
+        assert!(on.posted_credits.mean > 0.0, "banking cell settles");
+        assert_eq!(on.banked_credits.mean, 0.0, "flat prices bank nothing");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use green_accounting::MethodKind;
 use green_batchsim::metrics::cost;
 use green_batchsim::Policy;
+use green_market::PriceSpec;
 
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +39,10 @@ pub enum PolicySpec {
     Fixed(usize),
     /// Greedy + temporal shifting up to this many hours.
     GreedyShift(u32),
+    /// Market policy: cheapest *posted* price, with per-agent elastic
+    /// temporal shifting (the `elasticity` / `price_schedule` axes give
+    /// it teeth).
+    Adaptive,
 }
 
 impl PolicySpec {
@@ -65,8 +70,9 @@ impl PolicySpec {
             "mixed" => Ok(PolicySpec::Mixed),
             "eft" => Ok(PolicySpec::Eft),
             "runtime" => Ok(PolicySpec::Runtime),
+            "adaptive" => Ok(PolicySpec::Adaptive),
             _ => Err(SpecError(format!(
-                "unknown policy `{token}` (expected greedy|energy|mixed|eft|runtime|fixed:<i>|greedy-shift:<h>)"
+                "unknown policy `{token}` (expected greedy|energy|mixed|eft|runtime|adaptive|fixed:<i>|greedy-shift:<h>)"
             ))),
         }
     }
@@ -81,6 +87,7 @@ impl PolicySpec {
             PolicySpec::Runtime => Policy::Runtime,
             PolicySpec::Fixed(i) => Policy::Fixed(i),
             PolicySpec::GreedyShift(h) => Policy::GreedyShift { max_delay_hours: h },
+            PolicySpec::Adaptive => Policy::Adaptive,
         }
     }
 
@@ -94,6 +101,7 @@ impl PolicySpec {
             PolicySpec::Runtime => "runtime".into(),
             PolicySpec::Fixed(i) => format!("fixed:{i}"),
             PolicySpec::GreedyShift(h) => format!("greedy-shift:{h}"),
+            PolicySpec::Adaptive => "adaptive".into(),
         }
     }
 }
@@ -208,6 +216,15 @@ pub struct ScenarioSpec {
     pub intensity_scale: f64,
     /// Log-normal sigma of per-hour intensity jitter (0 = none).
     pub intensity_jitter: f64,
+    /// Mean price elasticity of the agent population (0 = rigid users;
+    /// only meaningful with the `adaptive` policy).
+    pub elasticity: f64,
+    /// Posted-price schedule compiled against the cell's intensity
+    /// realization.
+    pub price_schedule: PriceSpec,
+    /// Per-user banked-savings cap, in the cell method's credits
+    /// (0 = banking disabled).
+    pub banking_cap: f64,
     /// Monte-Carlo replicate seed (drives the intensity realization).
     pub seed: u64,
 }
@@ -226,6 +243,9 @@ impl ScenarioSpec {
             workload_scale: 1.0,
             intensity_scale: 1.0,
             intensity_jitter: 0.0,
+            elasticity: 0.0,
+            price_schedule: PriceSpec::Flat,
+            banking_cap: 0.0,
             seed: 0,
         }
     }
@@ -267,10 +287,38 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the market axes: population elasticity, posted-price
+    /// schedule, and the banked-savings cap.
+    pub fn with_market(mut self, elasticity: f64, schedule: PriceSpec, banking_cap: f64) -> Self {
+        self.elasticity = elasticity;
+        self.price_schedule = schedule;
+        self.banking_cap = banking_cap;
+        self
+    }
+
     /// Sets the replicate seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// True when this cell needs market machinery somewhere (simulation
+    /// inputs and/or posted-price settlement).
+    pub fn market_active(&self) -> bool {
+        self.policy == PolicySpec::Adaptive
+            || !self.price_schedule.is_flat()
+            || self.elasticity > 0.0
+            || self.banking_cap > 0.0
+    }
+
+    /// True when the market must be wired into the *simulation* itself
+    /// (posted quotes and agent shifting). Deliberately narrower than
+    /// [`market_active`](ScenarioSpec::market_active): settlement-only
+    /// knobs like the banking cap must not perturb placements or
+    /// timings — a `banking_caps` axis would otherwise be confounded by
+    /// quote re-anchoring.
+    pub fn market_drives_decisions(&self) -> bool {
+        self.policy == PolicySpec::Adaptive || !self.price_schedule.is_flat()
     }
 
     /// The label columns identifying this cell (seed excluded — the
@@ -289,6 +337,9 @@ impl ScenarioSpec {
             self.backfill_depth.to_string(),
             format!("{:.3}", self.workload_scale),
             format!("{:.3}", self.intensity_scale),
+            format!("{:.2}", self.elasticity),
+            self.price_schedule.label(),
+            format!("{:.1}", self.banking_cap),
         ]
     }
 }
@@ -332,6 +383,20 @@ mod tests {
         assert_eq!(fleet_index("2").unwrap(), 2);
         assert!(fleet_index("5").is_err());
         assert!(fleet_index("frontier").is_err());
+    }
+
+    #[test]
+    fn adaptive_and_market_axes() {
+        assert_eq!(PolicySpec::parse("Adaptive").unwrap(), PolicySpec::Adaptive);
+        assert_eq!(PolicySpec::Adaptive.label(), "adaptive");
+        let spec = ScenarioSpec::new(PolicySpec::Greedy, MethodSpec::Cba);
+        assert!(!spec.market_active(), "defaults are market-free");
+        let spec = spec.with_market(1.5, PriceSpec::parse("carbon:0.5").unwrap(), 50.0);
+        assert!(spec.market_active());
+        let label = spec.config_label();
+        assert_eq!(&label[8..], ["1.50", "carbon:0.500", "50.0"]);
+        // The adaptive policy alone activates the market too.
+        assert!(ScenarioSpec::new(PolicySpec::Adaptive, MethodSpec::Cba).market_active());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::spec::{fleet_index, MethodSpec, PolicySpec, ScenarioSpec, SpecError};
 use crate::toml::{self, Value};
+use green_market::PriceSpec;
 use green_units::TimeSpan;
 use green_workload::TraceConfig;
 
@@ -117,6 +118,12 @@ pub struct Sweep {
     pub intensity_scales: Vec<f64>,
     /// Per-hour intensity jitter sigma (applies to every cell).
     pub intensity_jitter: f64,
+    /// Population-elasticity axis (market incentive loop).
+    pub elasticities: Vec<f64>,
+    /// Posted-price-schedule axis.
+    pub price_schedules: Vec<PriceSpec>,
+    /// Banked-savings-cap axis.
+    pub banking_caps: Vec<f64>,
     /// Monte-Carlo replicate seeds.
     pub seeds: Vec<u64>,
 }
@@ -139,6 +146,9 @@ impl Sweep {
             workload_scales: vec![1.0],
             intensity_scales: vec![1.0],
             intensity_jitter: 0.0,
+            elasticities: vec![0.0],
+            price_schedules: vec![PriceSpec::Flat],
+            banking_caps: vec![0.0],
             seeds: vec![1],
         }
     }
@@ -153,6 +163,9 @@ impl Sweep {
             * self.backfill_depths.len()
             * self.workload_scales.len()
             * self.intensity_scales.len()
+            * self.elasticities.len()
+            * self.price_schedules.len()
+            * self.banking_caps.len()
     }
 
     /// Total cell count: configurations × replicate seeds.
@@ -162,7 +175,7 @@ impl Sweep {
 
     /// Validates axis contents (non-empty, sane ranges).
     pub fn validate(&self) -> Result<(), SpecError> {
-        let axes: [(&str, usize); 9] = [
+        let axes: [(&str, usize); 12] = [
             ("policies", self.policies.len()),
             ("methods", self.methods.len()),
             ("fleets", self.fleets.len()),
@@ -171,6 +184,9 @@ impl Sweep {
             ("backfill_depths", self.backfill_depths.len()),
             ("workload_scales", self.workload_scales.len()),
             ("intensity_scales", self.intensity_scales.len()),
+            ("elasticities", self.elasticities.len()),
+            ("price_schedules", self.price_schedules.len()),
+            ("banking_caps", self.banking_caps.len()),
             ("seeds", self.seeds.len()),
         ];
         for (name, len) in axes {
@@ -205,6 +221,16 @@ impl Sweep {
         if self.intensity_jitter < 0.0 {
             return Err(SpecError("intensity jitter must be non-negative".into()));
         }
+        if self.elasticities.iter().any(|e| *e < 0.0 || !e.is_finite()) {
+            return Err(SpecError(
+                "elasticities must be finite and non-negative".into(),
+            ));
+        }
+        if self.banking_caps.iter().any(|c| *c < 0.0 || !c.is_finite()) {
+            return Err(SpecError(
+                "banking caps must be finite and non-negative".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -222,20 +248,32 @@ impl Sweep {
                             for &backfill in &self.backfill_depths {
                                 for &wscale in &self.workload_scales {
                                     for &iscale in &self.intensity_scales {
-                                        for &seed in &self.seeds {
-                                            let index = cells.len();
-                                            cells.push(Cell {
-                                                index,
-                                                config: index / replicates,
-                                                spec: ScenarioSpec::new(*policy, *method)
-                                                    .with_fleet(fleet.clone())
-                                                    .with_sim_year(sim_year)
-                                                    .with_users(users)
-                                                    .with_backfill_depth(backfill)
-                                                    .with_workload_scale(wscale)
-                                                    .with_intensity(iscale, self.intensity_jitter)
-                                                    .with_seed(seed),
-                                            });
+                                        for &elasticity in &self.elasticities {
+                                            for &schedule in &self.price_schedules {
+                                                for &cap in &self.banking_caps {
+                                                    for &seed in &self.seeds {
+                                                        let index = cells.len();
+                                                        cells.push(Cell {
+                                                            index,
+                                                            config: index / replicates,
+                                                            spec: ScenarioSpec::new(
+                                                                *policy, *method,
+                                                            )
+                                                            .with_fleet(fleet.clone())
+                                                            .with_sim_year(sim_year)
+                                                            .with_users(users)
+                                                            .with_backfill_depth(backfill)
+                                                            .with_workload_scale(wscale)
+                                                            .with_intensity(
+                                                                iscale,
+                                                                self.intensity_jitter,
+                                                            )
+                                                            .with_market(elasticity, schedule, cap)
+                                                            .with_seed(seed),
+                                                        });
+                                                    }
+                                                }
+                                            }
                                         }
                                     }
                                 }
@@ -345,6 +383,18 @@ impl Sweep {
                 .as_float()
                 .ok_or_else(|| SpecError("grid.intensity_jitter must be a number".into()))?;
         }
+        if let Some(v) = grid.get("elasticities") {
+            sweep.elasticities = float_items(v, "grid.elasticities")?;
+        }
+        if let Some(v) = grid.get("price_schedules") {
+            sweep.price_schedules = str_items(v, "grid.price_schedules")?
+                .iter()
+                .map(|s| PriceSpec::parse(s).map_err(SpecError))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(v) = grid.get("banking_caps") {
+            sweep.banking_caps = float_items(v, "grid.banking_caps")?;
+        }
         if let Some(v) = grid.get("seeds") {
             sweep.seeds = int_items(v, "grid.seeds")?
                 .into_iter()
@@ -381,6 +431,9 @@ const KNOWN: [(&str, &[&str]); 3] = [
             "workload_scales",
             "intensity_scales",
             "intensity_jitter",
+            "elasticities",
+            "price_schedules",
+            "banking_caps",
             "seeds",
         ],
     ),
@@ -556,6 +609,34 @@ fleets = ["all", ["faster", "ic"], [1, 3]]
         assert!(Sweep::from_toml_str("[grid]\nusers = [-5]").is_err());
         assert!(Sweep::from_toml_str("[grid]\nseeds = [-1]").is_err());
         assert!(Sweep::from_toml_str("[grid]\nbackfill_depths = [-2]").is_err());
+    }
+
+    #[test]
+    fn market_axes_parse_and_expand() {
+        let sweep = Sweep::from_toml_str(
+            r#"
+[grid]
+policies = ["adaptive"]
+methods = ["cba"]
+elasticities = [0.0, 1.0]
+price_schedules = ["flat", "carbon:0.5"]
+banking_caps = [0.0, 25.0]
+"#,
+        )
+        .unwrap();
+        assert_eq!(sweep.config_count(), 8);
+        let cells = sweep.expand();
+        assert_eq!(cells[0].spec.elasticity, 0.0);
+        assert_eq!(cells[0].spec.price_schedule, PriceSpec::Flat);
+        let last = &cells.last().unwrap().spec;
+        assert_eq!(last.elasticity, 1.0);
+        assert_eq!(last.price_schedule.label(), "carbon:0.500");
+        assert_eq!(last.banking_cap, 25.0);
+        assert!(last.market_active());
+
+        assert!(Sweep::from_toml_str("[grid]\nelasticities = [-1.0]").is_err());
+        assert!(Sweep::from_toml_str("[grid]\nbanking_caps = [-5.0]").is_err());
+        assert!(Sweep::from_toml_str("[grid]\nprice_schedules = [\"surge\"]").is_err());
     }
 
     #[test]
