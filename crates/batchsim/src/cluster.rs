@@ -48,11 +48,25 @@ pub struct Cluster {
     /// may inspect. Zero disables backfilling (pure FCFS) — used by the
     /// scheduling ablation bench.
     pub backfill_depth: usize,
+    /// Allocation granularity: the smallest core count any submitted job
+    /// can hold (the machine's slice size). When fewer cores than this
+    /// are free, no queued job can start and the scheduling pass is a
+    /// provable no-op — the early exit that keeps saturated clusters
+    /// O(1) per event instead of O(queue).
+    pub min_grain: u32,
     queue: VecDeque<QueuedJob>,
     running: HashMap<usize, RunningJob>,
-    users_running: HashMap<UserId, u32>,
+    /// Running-job count per user id (direct index — the scheduler scan
+    /// touches this for every queued entry, so it must be a load, not a
+    /// hash).
+    users_running: Vec<u32>,
     /// Sum of queued core-seconds (wait estimator state).
     queued_core_seconds: f64,
+    /// Σ end-time × cores over running jobs (wait estimator state,
+    /// maintained incrementally so the estimate is O(1) per query).
+    running_ends_cores: f64,
+    /// Σ cores over running jobs.
+    running_cores: f64,
 }
 
 impl Cluster {
@@ -63,11 +77,20 @@ impl Cluster {
             free_cores: total_cores,
             max_job_cores,
             backfill_depth: DEFAULT_BACKFILL_DEPTH,
+            min_grain: 1,
             queue: VecDeque::new(),
             running: HashMap::new(),
-            users_running: HashMap::new(),
+            users_running: Vec::new(),
             queued_core_seconds: 0.0,
+            running_ends_cores: 0.0,
+            running_cores: 0.0,
         }
+    }
+
+    fn user_busy(&self, user: UserId) -> bool {
+        self.users_running
+            .get(user.0 as usize)
+            .is_some_and(|n| *n > 0)
     }
 
     /// True when `cores` fits the cluster at all.
@@ -88,18 +111,17 @@ impl Cluster {
     /// Estimated wait for a newly submitted job: zero when it could start
     /// immediately, otherwise the cluster's backlog drained at full
     /// capacity (an M/G/c-style estimate — the paper's EFT policy only
-    /// needs a ranking signal, not exact waits).
+    /// needs a ranking signal, not exact waits). O(1): the running-job
+    /// backlog `Σ (ends − now) · cores` is maintained incrementally as
+    /// `Σ ends·cores − now · Σ cores` (running jobs always have
+    /// `ends ≥ now`, so the per-job clamp the naive sum applied is
+    /// vacuous; the whole-sum clamp below only guards rounding drift).
     pub fn estimated_wait(&self, cores: u32, user: UserId, now: TimePoint) -> TimeSpan {
-        let user_busy = self.users_running.get(&user).copied().unwrap_or(0) > 0;
-        if !user_busy && self.queue.is_empty() && cores as u64 <= self.free_cores {
+        if !self.user_busy(user) && self.queue.is_empty() && cores as u64 <= self.free_cores {
             return TimeSpan::ZERO;
         }
-        let running_remaining: f64 = self
-            .running
-            .values()
-            .map(|r| (r.ends - now).as_secs().max(0.0) * r.cores as f64)
-            .sum();
-        let backlog = running_remaining + self.queued_core_seconds;
+        let running_remaining = self.running_ends_cores - now.as_secs() * self.running_cores;
+        let backlog = running_remaining.max(0.0) + self.queued_core_seconds;
         TimeSpan::from_secs(backlog / self.total_cores as f64)
     }
 
@@ -116,11 +138,10 @@ impl Cluster {
             .remove(&job)
             .expect("finish event for a job not running here");
         self.free_cores += r.cores as u64;
-        if let Some(n) = self.users_running.get_mut(&r.user) {
-            *n -= 1;
-            if *n == 0 {
-                self.users_running.remove(&r.user);
-            }
+        self.running_ends_cores -= r.ends.as_secs() * r.cores as f64;
+        self.running_cores -= r.cores as f64;
+        if let Some(n) = self.users_running.get_mut(r.user.0 as usize) {
+            *n = n.saturating_sub(1);
         }
     }
 
@@ -132,14 +153,24 @@ impl Cluster {
     /// earliest start is computed from running-job end times, and later
     /// queue entries may backfill only if they cannot delay that start.
     pub fn schedule(&mut self, now: TimePoint) -> Vec<QueuedJob> {
+        // A start needs at least one allocation slice free; below that
+        // the whole pass provably mutates nothing (reservations are
+        // pass-local), so skip the scan outright.
+        let grain = self.min_grain.max(1) as u64;
+        if self.queue.is_empty() || self.free_cores < grain {
+            return Vec::new();
+        }
         let mut started = Vec::new();
+        // Queue positions of the jobs started this pass (ascending);
+        // compacted out in one sweep after the scan instead of an O(n)
+        // `remove` per start.
+        let mut started_at: Vec<usize> = Vec::new();
         let mut reservation: Option<(TimePoint, u64)> = None; // (head start, cores free then)
         let mut scanned_past_head = 0usize;
         let mut idx = 0;
         while idx < self.queue.len() {
             let job = self.queue[idx];
-            let user_blocked = self.users_running.get(&job.user).copied().unwrap_or(0) > 0;
-            if user_blocked {
+            if self.user_busy(job.user) {
                 idx += 1;
                 continue;
             }
@@ -148,10 +179,9 @@ impl Cluster {
                 (None, true) => {
                     // FCFS start.
                     self.start(job, now);
-                    self.queue.remove(idx);
+                    started_at.push(idx);
                     started.push(job);
-                    // Restart the scan state: capacity changed.
-                    continue;
+                    idx += 1;
                 }
                 (None, false) => {
                     // This job reserves the machine.
@@ -173,9 +203,8 @@ impl Cluster {
                             *free_at_head -= job.cores as u64;
                         }
                         self.start(job, now);
-                        self.queue.remove(idx);
+                        started_at.push(idx);
                         started.push(job);
-                        continue;
                     }
                     idx += 1;
                 }
@@ -187,6 +216,23 @@ impl Cluster {
                     idx += 1;
                 }
             }
+            // Once the free pool drops below one slice nothing else can
+            // start (and reservations die with the pass) — bail out.
+            if self.free_cores < grain {
+                break;
+            }
+        }
+        if !started_at.is_empty() {
+            let mut keep = 0;
+            let mut next = 0;
+            self.queue.retain(|_| {
+                let starts = next < started_at.len() && started_at[next] == keep;
+                if starts {
+                    next += 1;
+                }
+                keep += 1;
+                !starts
+            });
         }
         started
     }
@@ -198,13 +244,20 @@ impl Cluster {
         if self.queued_core_seconds < 0.0 {
             self.queued_core_seconds = 0.0;
         }
-        *self.users_running.entry(job.user).or_insert(0) += 1;
+        let slot = job.user.0 as usize;
+        if slot >= self.users_running.len() {
+            self.users_running.resize(slot + 1, 0);
+        }
+        self.users_running[slot] += 1;
+        let ends = now + job.runtime;
+        self.running_ends_cores += ends.as_secs() * job.cores as f64;
+        self.running_cores += job.cores as f64;
         self.running.insert(
             job.job,
             RunningJob {
                 user: job.user,
                 cores: job.cores,
-                ends: now + job.runtime,
+                ends,
             },
         );
     }

@@ -4,7 +4,7 @@
 //! user machine-selection policy and an accounting method:
 //!
 //! * each job is routed to one machine at submission by the
-//!   [`Policy`](policy::Policy) (no migration — once started, a job stays
+//!   [`Policy`] (no migration — once started, a job stays
 //!   put even as carbon intensities change, exactly as the paper assumes);
 //! * each cluster schedules FCFS with EASY-style backfilling at the
 //!   allocation-slice granularity, under the paper's constraint that a

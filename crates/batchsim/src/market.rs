@@ -10,6 +10,7 @@
 
 use green_units::TimePoint;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Hourly posted-price multipliers, one series per fleet machine
 /// (index-aligned). A multiplier of 1.0 is the method's base charge;
@@ -85,12 +86,17 @@ impl MarketAgent {
 
 /// Everything the simulator needs to close the incentive loop for one
 /// run: posted prices, the agent population, and global shifting bounds.
+///
+/// The heavy members are `Arc`-shared: a compiled year of prices and an
+/// agent population are built once per distinct configuration and handed
+/// to every simulation cell that uses them by reference count, never by
+/// deep copy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MarketInputs {
     /// Posted price multipliers per machine.
-    pub prices: PriceTable,
+    pub prices: Arc<PriceTable>,
     /// Agent postures, indexed by user id (wrapping).
-    pub agents: Vec<MarketAgent>,
+    pub agents: Arc<Vec<MarketAgent>>,
     /// Hard cap on any agent's submission delay, in whole hours.
     pub max_delay_hours: u32,
     /// Base relative saving required before an agent shifts; the
@@ -109,8 +115,8 @@ impl MarketInputs {
     /// to a market-free run (asserted for EBA in the simulator tests).
     pub fn identity(machines: usize) -> MarketInputs {
         MarketInputs {
-            prices: PriceTable::flat(machines),
-            agents: vec![MarketAgent::INELASTIC],
+            prices: Arc::new(PriceTable::flat(machines)),
+            agents: Arc::new(vec![MarketAgent::INELASTIC]),
             max_delay_hours: 0,
             shift_threshold: 0.02,
         }
@@ -147,8 +153,8 @@ mod tests {
     #[test]
     fn agents_wrap_over_population() {
         let inputs = MarketInputs {
-            prices: PriceTable::flat(1),
-            agents: vec![
+            prices: Arc::new(PriceTable::flat(1)),
+            agents: Arc::new(vec![
                 MarketAgent {
                     elasticity: 1.0,
                     slack_hours: 4,
@@ -157,7 +163,7 @@ mod tests {
                     elasticity: 2.0,
                     slack_hours: 8,
                 },
-            ],
+            ]),
             max_delay_hours: 24,
             shift_threshold: 0.02,
         };

@@ -61,6 +61,10 @@ pub struct RunMetrics {
     pub outcomes: Vec<JobOutcome>,
     /// Jobs the policy could not place anywhere.
     pub rejected: usize,
+    /// Discrete events the simulation loop processed (arrivals including
+    /// shift re-submissions, plus finishes) — the deterministic work
+    /// counter the perf suite trends instead of noisy wall time.
+    pub events: usize,
 }
 
 impl RunMetrics {
@@ -183,6 +187,7 @@ mod tests {
                 .map(|i| outcome(i, i as f64 * 100.0, 1_000.0 + i as f64 * 100.0, 5.0, 10.0))
                 .collect(),
             rejected: 0,
+            events: 20,
         }
     }
 

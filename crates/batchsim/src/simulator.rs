@@ -266,6 +266,10 @@ impl<'a> Simulator<'a> {
                     )
                 };
                 cluster.backfill_depth = self.config.backfill_depth;
+                // Provisioning rounds every request up to the slice, so
+                // the slice is the smallest start the scheduler must
+                // consider (drives its saturated-cluster early exit).
+                cluster.min_grain = m.spec.slice_cores;
                 cluster
             })
             .collect();
@@ -279,11 +283,13 @@ impl<'a> Simulator<'a> {
         let mut machine_of = vec![u32::MAX; self.trace.jobs.len()];
         let mut outcomes = Vec::with_capacity(self.trace.jobs.len());
         let mut rejected = 0usize;
+        let mut events_processed = 0usize;
         // GreedyShift bookkeeping: a job may be postponed at most once.
         let mut shifted = vec![false; self.trace.jobs.len()];
 
         while let Some(event) = events.pop() {
             let now = event.at;
+            events_processed += 1;
             match event.kind {
                 EventKind::Arrival(job_idx) => {
                     // Temporal shifting: quote every whole-hour submission
@@ -360,14 +366,21 @@ impl<'a> Simulator<'a> {
             ),
             outcomes,
             rejected,
+            events: events_processed,
         }
     }
 
     fn outcome(&self, job_idx: usize, machine: usize, start_s: f64, end: TimePoint) -> JobOutcome {
         let job = &self.trace.jobs[job_idx];
-        // Charges use the intensity at the job's start (the accounting
-        // window opens when the job begins drawing power).
-        let ctx = self.charge_context(machine, job_idx, TimePoint::from_secs(start_s));
+        // Settled charges and attribution integrate the grid over the
+        // job's actual execution window — `∫ I(t) dt` per Li et al.'s
+        // per-job operational-carbon formulation — via the trace's O(1)
+        // prefix-summed window mean. (Decision-time quotes above still
+        // read the point intensity at the expected start: a scheduler
+        // can't know a job's completed window before running it.)
+        let start = TimePoint::from_secs(start_s);
+        let mut ctx = self.charge_context(machine, job_idx, start);
+        ctx.carbon_intensity = self.intensity[machine].window_mean(start, end);
         let charges = [
             MethodKind::Runtime.charge(&ctx).value(),
             MethodKind::Energy.charge(&ctx).value(),
@@ -550,13 +563,13 @@ mod tests {
         // A strong diurnal price signal, identical on every machine:
         // hours 0–11 of each day are 3× as expensive as hours 12–23.
         let day: Vec<f64> = (0..24).map(|h| if h < 12 { 3.0 } else { 1.0 }).collect();
-        let prices = PriceTable::new(vec![day; 4]);
+        let prices = std::sync::Arc::new(PriceTable::new(vec![day; 4]));
         let market = |elasticity: f64| MarketInputs {
-            prices: prices.clone(),
-            agents: vec![MarketAgent {
+            prices: std::sync::Arc::clone(&prices),
+            agents: std::sync::Arc::new(vec![MarketAgent {
                 elasticity,
                 slack_hours: 12,
-            }],
+            }]),
             max_delay_hours: 24,
             shift_threshold: 0.02,
         };

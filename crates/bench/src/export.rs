@@ -4,6 +4,20 @@
 use std::io::Write;
 use std::path::Path;
 
+/// One CSV record, quoted and newline-terminated — the single encoder
+/// every CSV sink in the workspace goes through (buffered export,
+/// string export, streaming export), so their bytes cannot diverge on
+/// fields that need quoting.
+pub fn csv_line<S: AsRef<str>>(fields: &[S]) -> String {
+    let mut line = fields
+        .iter()
+        .map(|f| quote(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",");
+    line.push('\n');
+    line
+}
+
 /// Writes rows as CSV with minimal quoting (fields containing commas or
 /// quotes are quoted, quotes doubled).
 pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
@@ -11,21 +25,9 @@ pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io
         std::fs::create_dir_all(parent)?;
     }
     let mut file = std::fs::File::create(path)?;
-    writeln!(
-        file,
-        "{}",
-        headers
-            .iter()
-            .map(|h| quote(h))
-            .collect::<Vec<_>>()
-            .join(",")
-    )?;
+    write!(file, "{}", csv_line(headers))?;
     for row in rows {
-        writeln!(
-            file,
-            "{}",
-            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
-        )?;
+        write!(file, "{}", csv_line(row))?;
     }
     Ok(())
 }

@@ -8,6 +8,8 @@
 
 pub mod experiments;
 pub mod export;
+pub mod perf;
 pub mod render;
 
 pub use experiments::simulation::{SimArtifacts, SimScale};
+pub use perf::{Comparison, PerfBench, PerfReport};

@@ -1,0 +1,481 @@
+//! Machine-readable perf reports and the CI regression gate.
+//!
+//! A [`PerfReport`] is what the `green-perf` binary emits: per-bench
+//! **deterministic work counters** (events processed, cells executed,
+//! realizations built — quantities that cannot vary between runs of the
+//! same code) alongside wall-clock milliseconds and derived rates.
+//!
+//! The gate ([`PerfReport::compare`]) treats the two kinds of numbers
+//! differently, because CI runners are noisy but work counts are not:
+//!
+//! * a counter drifting beyond tolerance against the committed baseline
+//!   **fails** — the code started doing measurably more (or different)
+//!   work, e.g. a cache stopped deduplicating realizations;
+//! * wall time drifting only **warns** — a shared GitHub runner can be
+//!   2× slower for reasons that have nothing to do with the diff.
+//!
+//! The JSON codec is deliberately minimal (flat schema, no escapes
+//! beyond the basics) so the repository needs no serde engine: the
+//! vendored `serde` is a marker shim.
+
+use std::fmt::Write as _;
+
+/// One benchmark's numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBench {
+    /// Bench name (`sim_year`, `attribution`, `sweep_grid`, …).
+    pub name: String,
+    /// Wall-clock time of the measured section, milliseconds.
+    pub wall_ms: f64,
+    /// Deterministic work counters (name → count). Run-to-run stable on
+    /// identical code; the gate fails when they drift.
+    pub counters: Vec<(String, f64)>,
+    /// Derived throughput rates (name → per-second value). Reported for
+    /// humans; the gate ignores them.
+    pub rates: Vec<(String, f64)>,
+}
+
+/// A full perf-suite report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PerfReport {
+    /// One entry per bench, in suite order.
+    pub benches: Vec<PerfBench>,
+}
+
+/// The gate's verdict: hard failures (counters) and advisory warnings
+/// (wall time).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Comparison {
+    /// Counter drifts beyond tolerance — fail the build.
+    pub failures: Vec<String>,
+    /// Wall-time drifts beyond tolerance — report, don't fail.
+    pub warnings: Vec<String>,
+}
+
+impl Comparison {
+    /// True when no counter regressed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl PerfReport {
+    /// Looks a bench up by name.
+    pub fn bench(&self, name: &str) -> Option<&PerfBench> {
+        self.benches.iter().find(|b| b.name == name)
+    }
+
+    /// Serializes the report as stable, diff-friendly JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"green-perf/1\",\n  \"benches\": {\n");
+        for (i, bench) in self.benches.iter().enumerate() {
+            let _ = writeln!(out, "    {}: {{", quote(&bench.name));
+            let _ = writeln!(out, "      \"wall_ms\": {},", fmt_num(bench.wall_ms));
+            let _ = writeln!(out, "      \"counters\": {{{}}},", pairs(&bench.counters));
+            let _ = writeln!(out, "      \"rates\": {{{}}}", pairs(&bench.rates));
+            out.push_str("    }");
+            out.push_str(if i + 1 < self.benches.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`to_json`](Self::to_json)
+    /// (or hand-edited to the same flat schema).
+    pub fn parse(text: &str) -> Result<PerfReport, String> {
+        let root = Json::parse(text)?;
+        let benches = root
+            .get("benches")
+            .ok_or("missing `benches` object")?
+            .as_object()
+            .ok_or("`benches` must be an object")?;
+        let mut report = PerfReport::default();
+        for (name, body) in benches {
+            let body = body.as_object().ok_or("bench body must be an object")?;
+            let wall_ms = body
+                .iter()
+                .find(|(k, _)| k == "wall_ms")
+                .and_then(|(_, v)| v.as_number())
+                .ok_or_else(|| format!("bench `{name}` missing numeric `wall_ms`"))?;
+            let numbers = |key: &str| -> Result<Vec<(String, f64)>, String> {
+                let Some((_, v)) = body.iter().find(|(k, _)| k == key) else {
+                    return Ok(Vec::new());
+                };
+                let obj = v
+                    .as_object()
+                    .ok_or_else(|| format!("bench `{name}`: `{key}` must be an object"))?;
+                obj.iter()
+                    .map(|(k, v)| {
+                        v.as_number()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| format!("bench `{name}`: `{key}.{k}` must be a number"))
+                    })
+                    .collect()
+            };
+            report.benches.push(PerfBench {
+                name: name.clone(),
+                wall_ms,
+                counters: numbers("counters")?,
+                rates: numbers("rates")?,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Gates `self` (the current run) against `baseline`: every baseline
+    /// counter must stay within `tolerance` (relative, e.g. `0.2` =
+    /// ±20 %); wall time beyond `wall_tolerance` only warns.
+    pub fn compare(
+        &self,
+        baseline: &PerfReport,
+        tolerance: f64,
+        wall_tolerance: f64,
+    ) -> Comparison {
+        let mut cmp = Comparison::default();
+        for base in &baseline.benches {
+            let Some(current) = self.bench(&base.name) else {
+                cmp.failures.push(format!(
+                    "bench `{}` missing from the current run",
+                    base.name
+                ));
+                continue;
+            };
+            for (counter, expected) in &base.counters {
+                let Some((_, actual)) = current.counters.iter().find(|(k, _)| k == counter) else {
+                    cmp.failures.push(format!(
+                        "{}: counter `{counter}` missing from the current run",
+                        base.name
+                    ));
+                    continue;
+                };
+                let drift = relative_drift(*actual, *expected);
+                if drift > tolerance {
+                    cmp.failures.push(format!(
+                        "{}: counter `{counter}` drifted {:+.1}% (baseline {}, now {})",
+                        base.name,
+                        100.0 * (actual - expected) / expected.max(1e-12),
+                        fmt_num(*expected),
+                        fmt_num(*actual),
+                    ));
+                }
+            }
+            let wall_drift = (current.wall_ms - base.wall_ms) / base.wall_ms.max(1e-12);
+            if wall_drift > wall_tolerance {
+                cmp.warnings.push(format!(
+                    "{}: wall time {:+.1}% (baseline {:.1} ms, now {:.1} ms) — wall is warn-only",
+                    base.name,
+                    100.0 * wall_drift,
+                    base.wall_ms,
+                    current.wall_ms,
+                ));
+            }
+        }
+        cmp
+    }
+}
+
+/// Drift relative to the *baseline*, so "±20 %" means what it says:
+/// +21 % growth and −21 % shrinkage both trip a 0.20 tolerance. A
+/// counter appearing where the baseline had zero is effectively
+/// infinite drift (the baseline must be regenerated alongside such a
+/// change).
+fn relative_drift(actual: f64, expected: f64) -> f64 {
+    if actual == expected {
+        return 0.0;
+    }
+    (actual - expected).abs() / expected.abs().max(1e-12)
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn pairs(items: &[(String, f64)]) -> String {
+    items
+        .iter()
+        .map(|(k, v)| format!("{}: {}", quote(k), fmt_num(*v)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// The minimal JSON value model the report schema needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Number(f64),
+    Str(String),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|b| *b as char).unwrap_or('∅')
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b) if b.is_ascii_digit() || *b == b'-' => self.number(),
+            other => Err(format!(
+                "unexpected `{}` at byte {}",
+                other.map(|b| *b as char).unwrap_or('∅'),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let escaped = self
+                        .bytes
+                        .get(self.pos + 1)
+                        .ok_or("dangling escape at end of input")?;
+                    out.push(match escaped {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => return Err(format!("unsupported escape `\\{}`", *other as char)),
+                    });
+                    self.pos += 2;
+                }
+                Some(b) => {
+                    out.push(*b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PerfReport {
+        PerfReport {
+            benches: vec![
+                PerfBench {
+                    name: "sim_year".into(),
+                    wall_ms: 123.456,
+                    counters: vec![("events".into(), 108000.0), ("jobs".into(), 54000.0)],
+                    rates: vec![("events_per_s".into(), 874912.252)],
+                },
+                PerfBench {
+                    name: "sweep_grid".into(),
+                    wall_ms: 250.0,
+                    counters: vec![("cells".into(), 36.0)],
+                    rates: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = report();
+        let parsed = PerfReport::parse(&r.to_json()).expect("own output parses");
+        assert_eq!(parsed.benches.len(), 2);
+        assert_eq!(parsed.bench("sim_year").unwrap().counters[0].1, 108000.0);
+        assert!((parsed.bench("sim_year").unwrap().wall_ms - 123.456).abs() < 1e-9);
+        assert!((parsed.bench("sim_year").unwrap().rates[0].1 - 874912.252).abs() < 1e-9);
+        assert_eq!(parsed.bench("sweep_grid").unwrap().counters[0].1, 36.0);
+    }
+
+    #[test]
+    fn equal_reports_pass_the_gate() {
+        let cmp = report().compare(&report(), 0.2, 0.5);
+        assert!(cmp.passed());
+        assert!(cmp.warnings.is_empty());
+    }
+
+    #[test]
+    fn counter_drift_fails_both_directions() {
+        let mut current = report();
+        current.benches[0].counters[0].1 *= 1.21; // +21% work
+        let cmp = current.compare(&report(), 0.2, 0.5);
+        assert!(!cmp.passed(), "tolerance is baseline-relative");
+        assert!(cmp.failures[0].contains("events"), "{:?}", cmp.failures);
+
+        let mut current = report();
+        current.benches[1].counters[0].1 = 10.0; // grid shrank
+        let cmp = current.compare(&report(), 0.2, 0.5);
+        assert!(!cmp.passed(), "shrunk workloads must fail too");
+    }
+
+    #[test]
+    fn counters_appearing_from_zero_fail() {
+        let mut baseline = report();
+        baseline.benches[1]
+            .counters
+            .push(("price_tables".into(), 0.0));
+        assert!(
+            baseline.compare(&baseline, 0.2, 0.5).passed(),
+            "0 == 0 passes"
+        );
+        let mut current = baseline.clone();
+        current.benches[1].counters[1].1 = 4.0;
+        assert!(
+            !current.compare(&baseline, 0.2, 0.5).passed(),
+            "0 → 4 must force a baseline regeneration"
+        );
+    }
+
+    #[test]
+    fn wall_time_only_warns() {
+        let mut current = report();
+        current.benches[0].wall_ms *= 3.0;
+        let cmp = current.compare(&report(), 0.2, 0.5);
+        assert!(cmp.passed(), "wall noise must not fail the gate");
+        assert_eq!(cmp.warnings.len(), 1);
+        assert!(cmp.warnings[0].contains("warn-only"));
+    }
+
+    #[test]
+    fn missing_bench_fails() {
+        let current = PerfReport::default();
+        let cmp = current.compare(&report(), 0.2, 0.5);
+        assert_eq!(cmp.failures.len(), 2);
+    }
+
+    #[test]
+    fn within_tolerance_drift_passes() {
+        let mut current = report();
+        current.benches[0].counters[0].1 *= 1.1; // +10% < 20%
+        assert!(current.compare(&report(), 0.2, 0.5).passed());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(PerfReport::parse("not json").is_err());
+        assert!(PerfReport::parse("{}").is_err(), "missing benches");
+        assert!(PerfReport::parse("{\"benches\": 3}").is_err());
+    }
+}

@@ -49,9 +49,18 @@ impl IntensitySource for ConstantIntensity {
 /// Lookups use the value of the enclosing hour (step interpolation, matching
 /// how grid APIs publish data). Times beyond the trace wrap around, so a
 /// one-year trace can serve an arbitrarily long simulation.
+///
+/// Construction precomputes the cumulative prefix sum of the hourly
+/// values, so any window average or integral — the quantity per-job
+/// carbon attribution needs for every single job — is an O(1) lookup
+/// instead of an O(window) loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HourlyTrace {
     values: Vec<f64>,
+    /// `cumulative[i]` = sum of `values[..i]` (so `cumulative[0] == 0.0`
+    /// and `cumulative[len]` is the trace total), accumulated left to
+    /// right — the same order a naive loop sums in.
+    cumulative: Vec<f64>,
 }
 
 impl HourlyTrace {
@@ -64,7 +73,14 @@ impl HourlyTrace {
             values.iter().all(|v| v.is_finite() && *v >= 0.0),
             "hourly trace values must be finite and non-negative"
         );
-        HourlyTrace { values }
+        let mut cumulative = Vec::with_capacity(values.len() + 1);
+        let mut acc = 0.0;
+        cumulative.push(acc);
+        for v in &values {
+            acc += v;
+            cumulative.push(acc);
+        }
+        HourlyTrace { values, cumulative }
     }
 
     /// Number of hourly samples.
@@ -82,9 +98,56 @@ impl HourlyTrace {
         &self.values
     }
 
-    /// Arithmetic mean of the trace.
+    /// The cumulative prefix sums: `cumulative()[i]` is the sum of the
+    /// first `i` hourly values (`len + 1` entries, first `0.0`).
+    pub fn cumulative(&self) -> &[f64] {
+        &self.cumulative
+    }
+
+    /// Sum of every hourly value (the last prefix entry) — O(1), and
+    /// bit-identical to summing `values()` left to right.
+    pub fn total(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty by construction")
+    }
+
+    /// Sum of `values[k % len]` over the *unwrapped* hour indices
+    /// `0..x`: whole cycles contribute the trace total, the remainder is
+    /// one prefix lookup. O(1) for any window length.
+    fn unwrapped_prefix(&self, x: u64) -> f64 {
+        let n = self.values.len() as u64;
+        (x / n) as f64 * self.total() + self.cumulative[(x % n) as usize]
+    }
+
+    /// Arithmetic mean of the trace — O(1) via the prefix total.
     pub fn mean(&self) -> CarbonIntensity {
-        CarbonIntensity::from_g_per_kwh(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        CarbonIntensity::from_g_per_kwh(self.total() / self.values.len() as f64)
+    }
+
+    /// Time-weighted mean intensity over `[from, to]` under the trace's
+    /// step interpolation: `∫ I(t) dt / (to − from)`, with the two
+    /// fractional edge hours weighted by their actual overlap. This is
+    /// the Equation-(2) quantity per-job attribution wants — the grid
+    /// carbon a job's execution window actually spans — and it is O(1)
+    /// however long the job ran.
+    pub fn window_mean(&self, from: TimePoint, to: TimePoint) -> CarbonIntensity {
+        let from_s = from.as_secs().max(0.0);
+        let to_s = to.as_secs().max(0.0);
+        if to_s <= from_s {
+            return self.intensity_at(from);
+        }
+        let n = self.values.len() as u64;
+        let a = from_s / SECS_PER_HOUR;
+        let b = to_s / SECS_PER_HOUR;
+        let (a0, b0) = (a.floor(), b.floor());
+        let head = self.values[(a0 as u64 % n) as usize];
+        if a0 == b0 {
+            return CarbonIntensity::from_g_per_kwh(head);
+        }
+        // Head fraction + whole hours (prefix difference) + tail fraction.
+        let whole = self.unwrapped_prefix(b0 as u64) - self.unwrapped_prefix(a0 as u64 + 1);
+        let tail = self.values[(b0 as u64 % n) as usize];
+        let integral = (a0 + 1.0 - a) * head + whole + (b - b0) * tail;
+        CarbonIntensity::from_g_per_kwh(integral / (b - a))
     }
 
     /// Minimum hourly value.
@@ -145,6 +208,36 @@ impl IntensitySource for HourlyTrace {
     fn intensity_at(&self, t: TimePoint) -> CarbonIntensity {
         let hour = (t.as_secs().max(0.0) / SECS_PER_HOUR) as usize;
         CarbonIntensity::from_g_per_kwh(self.values[hour % self.values.len()])
+    }
+
+    /// O(1) override of the trait's per-hour sampling loop: the samples
+    /// at `from + 0h, from + 1h, …` land on consecutive wrapped hour
+    /// indices, so their sum is a prefix difference plus the final
+    /// clamped-at-`to` sample. Matches the naive loop bit for bit
+    /// whenever the per-sample floating-point steps are exact (integer
+    /// traces, dyadic-hour windows — asserted by the
+    /// `prefix_sum_equivalence` property tests), and to within rounding
+    /// noise otherwise.
+    fn mean_intensity(&self, from: TimePoint, to: TimePoint) -> CarbonIntensity {
+        if to <= from {
+            return self.intensity_at(from);
+        }
+        let hours = ((to - from).as_hours().ceil() as usize).max(1);
+        if from.as_secs() < 0.0 {
+            // Degenerate pre-epoch windows clamp every sample; keep the
+            // reference loop for this never-hot case.
+            let mut acc = 0.0;
+            for h in 0..=hours {
+                let t = from + TimeSpan::from_hours(h as f64);
+                acc += self.intensity_at(t.min(to)).as_g_per_kwh();
+            }
+            return CarbonIntensity::from_g_per_kwh(acc / (hours + 1) as f64);
+        }
+        let n = self.values.len() as u64;
+        let h0 = (from.as_secs() / SECS_PER_HOUR) as u64;
+        let last = self.values[((to.as_secs() / SECS_PER_HOUR) as u64 % n) as usize];
+        let acc = self.unwrapped_prefix(h0 + hours as u64) - self.unwrapped_prefix(h0) + last;
+        CarbonIntensity::from_g_per_kwh(acc / (hours + 1) as f64)
     }
 }
 

@@ -1,0 +1,142 @@
+//! The O(1) prefix-summed window queries against their naive loops.
+//!
+//! `HourlyTrace::mean_intensity` overrides the `IntensitySource` default
+//! (an O(window) per-hour sampling loop) with a prefix-sum difference.
+//! These properties pin the two implementations together:
+//!
+//! * **bit-for-bit** on integer-valued traces over dyadic-fraction hour
+//!   windows — there every floating-point step in both paths is exact,
+//!   so any indexing, wrap-around or off-by-one slip in the O(1)
+//!   arithmetic shows up as a hard bit difference instead of hiding
+//!   inside rounding noise (grid APIs publish integer g/kWh, so this is
+//!   also the realistic regime);
+//! * **within rounding noise** on fully arbitrary float traces and
+//!   windows, where the two summation orders may legitimately differ in
+//!   the last ulps.
+//!
+//! `window_mean` (the time-weighted integral attribution uses) is pinned
+//! to a brute-force step-function integration.
+
+use green_carbon::{HourlyTrace, IntensitySource};
+use green_units::{CarbonIntensity, TimePoint, TimeSpan};
+use proptest::prelude::*;
+
+/// The `IntensitySource` default implementation, reproduced verbatim:
+/// the reference the O(1) override must match.
+fn naive_mean(trace: &HourlyTrace, from: TimePoint, to: TimePoint) -> CarbonIntensity {
+    if to <= from {
+        return trace.intensity_at(from);
+    }
+    let hours = ((to - from).as_hours().ceil() as usize).max(1);
+    let mut acc = 0.0;
+    for h in 0..=hours {
+        let t = from + TimeSpan::from_hours(h as f64);
+        acc += trace.intensity_at(t.min(to)).as_g_per_kwh();
+    }
+    CarbonIntensity::from_g_per_kwh(acc / (hours + 1) as f64)
+}
+
+/// Brute-force step-function integral of the trace over `[from, to]`,
+/// split at every hour boundary.
+fn naive_window_mean(trace: &HourlyTrace, from_h: f64, to_h: f64) -> f64 {
+    let mut integral = 0.0;
+    let mut t = from_h;
+    while t < to_h {
+        let next = (t.floor() + 1.0).min(to_h);
+        let v = trace.intensity_at(TimePoint::from_hours(t)).as_g_per_kwh();
+        integral += (next - t) * v;
+        t = next;
+    }
+    integral / (to_h - from_h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// O(1) sampled mean == naive loop, bit for bit, on integer traces
+    /// over dyadic windows (sixteenths of an hour), including windows
+    /// that wrap the trace many times over.
+    #[test]
+    fn sampled_mean_matches_naive_bit_for_bit(
+        values in prop::collection::vec(0u32..2_000, 1..200),
+        start_sixteenths in 0u64..100_000,
+        span_sixteenths in 1u64..200_000,
+    ) {
+        let trace = HourlyTrace::new(values.iter().map(|v| *v as f64).collect());
+        let from = TimePoint::from_hours(start_sixteenths as f64 / 16.0);
+        let to = from + TimeSpan::from_hours(span_sixteenths as f64 / 16.0);
+        let fast = trace.mean_intensity(from, to).as_g_per_kwh();
+        let slow = naive_mean(&trace, from, to).as_g_per_kwh();
+        prop_assert_eq!(
+            fast.to_bits(),
+            slow.to_bits(),
+            "O(1) {} != naive {} over [{}h, {}h] on {} samples",
+            fast, slow, from.as_hours(), to.as_hours(), trace.len()
+        );
+    }
+
+    /// On arbitrary float traces and windows the two paths agree to
+    /// rounding noise.
+    #[test]
+    fn sampled_mean_matches_naive_on_float_traces(
+        values in prop::collection::vec(0.0..2_000.0f64, 1..200),
+        start_h in 0.0..10_000.0f64,
+        span_h in 0.001..5_000.0f64,
+    ) {
+        let trace = HourlyTrace::new(values);
+        let from = TimePoint::from_hours(start_h);
+        let to = from + TimeSpan::from_hours(span_h);
+        let fast = trace.mean_intensity(from, to).as_g_per_kwh();
+        let slow = naive_mean(&trace, from, to).as_g_per_kwh();
+        prop_assert!(
+            (fast - slow).abs() <= 1e-9 * (1.0 + slow.abs()),
+            "O(1) {fast} vs naive {slow}"
+        );
+    }
+
+    /// The time-weighted window mean equals brute-force integration of
+    /// the step function, fractional edges included.
+    #[test]
+    fn window_mean_matches_step_integration(
+        values in prop::collection::vec(0.0..2_000.0f64, 1..100),
+        start_h in 0.0..5_000.0f64,
+        span_h in 0.001..2_000.0f64,
+    ) {
+        let trace = HourlyTrace::new(values);
+        let from = TimePoint::from_hours(start_h);
+        let to = from + TimeSpan::from_hours(span_h);
+        let fast = trace.window_mean(from, to).as_g_per_kwh();
+        let slow = naive_window_mean(&trace, from.as_hours(), to.as_hours());
+        prop_assert!(
+            (fast - slow).abs() <= 1e-7 * (1.0 + slow.abs()),
+            "window_mean {fast} vs integration {slow}"
+        );
+    }
+
+    /// Degenerate and boundary windows collapse to the point value.
+    #[test]
+    fn degenerate_windows_hit_the_point_value(
+        values in prop::collection::vec(0u32..2_000, 1..50),
+        at_h in 0.0..1_000.0f64,
+    ) {
+        let trace = HourlyTrace::new(values.iter().map(|v| *v as f64).collect());
+        let at = TimePoint::from_hours(at_h);
+        let point = trace.intensity_at(at);
+        prop_assert_eq!(trace.mean_intensity(at, at), point);
+        prop_assert_eq!(trace.window_mean(at, at), point);
+    }
+}
+
+#[test]
+fn prefix_table_shape() {
+    let t = HourlyTrace::new(vec![1.0, 2.0, 3.0]);
+    assert_eq!(t.cumulative(), &[0.0, 1.0, 3.0, 6.0]);
+    assert_eq!(t.total(), 6.0);
+    // A window spanning the trace 1000 times over is still O(1) — and
+    // exact: every value is integral.
+    let from = TimePoint::from_hours(1.0);
+    let to = TimePoint::from_hours(1.0 + 3.0 * 1_000.0);
+    let mean = t.mean_intensity(from, to).as_g_per_kwh();
+    let naive = naive_mean(&t, from, to).as_g_per_kwh();
+    assert_eq!(mean.to_bits(), naive.to_bits());
+}

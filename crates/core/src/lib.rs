@@ -17,7 +17,8 @@
 //! because it rewards underutilizing reserved hardware. EBA and CBA are
 //! the paper's proposals.
 //!
-//! Everything here is **pure**: methods map a context to [`Credits`] and
+//! Everything here is **pure**: methods map a context to
+//! [`Credits`](green_units::Credits) and
 //! never do I/O, which is what makes the five methods directly comparable
 //! across the platform, the batch simulator and the user study.
 //!

@@ -1,0 +1,247 @@
+//! `green-perf` — the repository's perf suite, with a CI regression
+//! gate.
+//!
+//! ```text
+//! green-perf [--out <report.json>] [--check <baseline.json>]
+//!            [--tolerance <rel>] [--wall-tolerance <rel>] [--quiet]
+//! ```
+//!
+//! Runs three benches and emits a machine-readable JSON report
+//! (`green_bench::perf` schema):
+//!
+//! * `sim_year` — the discrete-event simulator over the Table 5 fleet
+//!   for three policies on a year of hourly grid data; counts events
+//!   processed and jobs completed.
+//! * `attribution` — per-job carbon attribution's O(1) prefix-summed
+//!   window means, a year-scale trace, hundreds of thousands of window
+//!   queries; counts queries.
+//! * `sweep_grid` — the `examples/sweeps/sensitivity.toml` grid through
+//!   the scenario engine (single-threaded, so cells/s is comparable
+//!   across machines); counts cells, simulator events, realizations
+//!   derived and price tables compiled — the counters that catch a
+//!   broken structure-sharing cache.
+//!
+//! `--check` compares the run against a committed baseline
+//! (`BENCH_3.json`): deterministic-counter drift beyond `--tolerance`
+//! (default 0.20) **fails**; wall-time drift beyond `--wall-tolerance`
+//! (default 1.00, i.e. 2× slower) only warns — CI runners are noisy,
+//! work counts are not.
+
+use std::time::Instant;
+
+use green_batchsim::{intensity_for, run_cell, PlacementTable, Policy, SimConfig};
+use green_bench::{PerfBench, PerfReport};
+use green_carbon::HourlyTrace;
+use green_machines::simulation_fleet;
+use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
+use green_scenarios::{Sweep, SweepRunner};
+use green_units::TimePoint;
+use green_workload::{Trace, TraceConfig};
+
+/// The grid the `sweep_grid` bench replays — the shipped example, so
+/// the bench measures exactly what users (and CI) run.
+const SENSITIVITY_TOML: &str = include_str!("../../../../examples/sweeps/sensitivity.toml");
+
+const USAGE: &str = "\
+green-perf — deterministic perf suite and bench-regression gate
+
+USAGE:
+    green-perf [--out <report.json>] [--check <baseline.json>]
+               [--tolerance <rel>] [--wall-tolerance <rel>] [--quiet]
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn bench_sim_year() -> PerfBench {
+    let fleet = simulation_fleet();
+    let behaviors: Vec<MachineBehavior> = fleet
+        .iter()
+        .map(|m| MachineBehavior::for_spec(&m.spec))
+        .collect();
+    let predictor = CrossMachinePredictor::train(behaviors, 2, 23);
+    let trace = Trace::generate(&TraceConfig::small(23), &predictor);
+    let table = PlacementTable::build(&trace, &fleet, &predictor);
+    let intensity: Vec<HourlyTrace> = intensity_for(&fleet, 23);
+
+    let start = Instant::now();
+    let mut events = 0u64;
+    let mut jobs = 0u64;
+    for policy in [Policy::Greedy, Policy::Energy, Policy::Eft] {
+        let metrics = run_cell(
+            &trace,
+            &fleet,
+            &table,
+            &intensity,
+            SimConfig::new(policy, green_accounting::MethodKind::eba(), 24),
+        );
+        events += metrics.events as u64;
+        jobs += metrics.outcomes.len() as u64;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PerfBench {
+        name: "sim_year".into(),
+        wall_ms,
+        counters: vec![
+            ("events".into(), events as f64),
+            ("jobs".into(), jobs as f64),
+        ],
+        rates: vec![(
+            "events_per_s".into(),
+            events as f64 / (wall_ms / 1e3).max(1e-12),
+        )],
+    }
+}
+
+fn bench_attribution() -> PerfBench {
+    // A year of hourly data; windows from minutes to weeks, sliding
+    // across the year — the shape of real job populations.
+    let values: Vec<f64> = (0..8760)
+        .map(|h| 200.0 + 150.0 * ((h % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+        .collect();
+    let trace = HourlyTrace::new(values);
+    const QUERIES: u64 = 400_000;
+
+    let start = Instant::now();
+    let mut checksum = 0.0f64;
+    for i in 0..QUERIES {
+        let from_h = (i as f64 * 37.0) % 8_000.0;
+        let span_h = 0.05 + (i % 337) as f64;
+        let from = TimePoint::from_hours(from_h);
+        let to = TimePoint::from_hours(from_h + span_h);
+        checksum += trace.window_mean(from, to).as_g_per_kwh();
+    }
+    std::hint::black_box(checksum);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PerfBench {
+        name: "attribution".into(),
+        wall_ms,
+        counters: vec![("queries".into(), QUERIES as f64)],
+        rates: vec![(
+            "queries_per_s".into(),
+            QUERIES as f64 / (wall_ms / 1e3).max(1e-12),
+        )],
+    }
+}
+
+fn bench_sweep_grid() -> PerfBench {
+    let sweep = Sweep::from_toml_str(SENSITIVITY_TOML).expect("shipped sweep parses");
+    let start = Instant::now();
+    let (results, stats) = SweepRunner::new(1).run_collect(&sweep, None, None);
+    std::hint::black_box(results);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PerfBench {
+        name: "sweep_grid".into(),
+        wall_ms,
+        counters: vec![
+            ("cells".into(), stats.cells as f64),
+            ("events".into(), stats.events as f64),
+            ("realizations".into(), stats.realizations as f64),
+            ("price_tables".into(), stats.price_tables as f64),
+        ],
+        rates: vec![(
+            "cells_per_s".into(),
+            stats.cells as f64 / (wall_ms / 1e3).max(1e-12),
+        )],
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.20f64;
+    let mut wall_tolerance = 1.00f64;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")),
+            "--check" => check = Some(value("--check")),
+            "--tolerance" => {
+                tolerance = value("--tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --tolerance"));
+            }
+            "--wall-tolerance" => {
+                wall_tolerance = value("--wall-tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --wall-tolerance"));
+            }
+            "--quiet" => quiet = true,
+            other => fail(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let report = PerfReport {
+        benches: vec![bench_sim_year(), bench_attribution(), bench_sweep_grid()],
+    };
+    if !quiet {
+        for bench in &report.benches {
+            let rates: Vec<String> = bench
+                .rates
+                .iter()
+                .map(|(k, v)| format!("{k} {v:.0}"))
+                .collect();
+            eprintln!(
+                "bench {:<12} {:>9.1} ms   {}",
+                bench.name,
+                bench.wall_ms,
+                rates.join("  ")
+            );
+        }
+    }
+
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        });
+        if !quiet {
+            eprintln!("wrote {path}");
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: reading baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = PerfReport::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: parsing baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let cmp = report.compare(&baseline, tolerance, wall_tolerance);
+        for warning in &cmp.warnings {
+            eprintln!("warning: {warning}");
+        }
+        for failure in &cmp.failures {
+            eprintln!("FAIL: {failure}");
+        }
+        if !cmp.passed() {
+            eprintln!(
+                "bench gate: {} counter regression(s) beyond ±{:.0}% of {path}",
+                cmp.failures.len(),
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        if !quiet {
+            eprintln!(
+                "bench gate: counters within ±{:.0}% of {path}",
+                tolerance * 100.0
+            );
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! shard:
 //!
 //! * the account index is a **lock-free open-addressing table**
-//!   ([`Index`]): balance checks — the quote path of every admission
+//!   (`Index`): balance checks — the quote path of every admission
 //!   decision — probe atomic slots and read atomic balance cells without
 //!   acquiring any lock, shared or exclusive;
 //! * balances live in atomics (`f64` bit-cast into `AtomicU64`), so

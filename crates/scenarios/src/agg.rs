@@ -168,37 +168,41 @@ fn sig(v: f64) -> String {
     format!("{v:.6}")
 }
 
+impl CellSummary {
+    /// This configuration's CSV row ([`CSV_HEADERS`] order) — shared by
+    /// the in-memory and streaming export paths, so their bytes cannot
+    /// diverge.
+    pub fn csv_row(&self) -> Vec<String> {
+        let mut row = self.spec.config_label();
+        row.push(self.completed.n.to_string());
+        row.push(sig(self.completed.mean));
+        row.push(sig(self.rejected.mean));
+        for a in [
+            &self.energy_mwh,
+            &self.op_carbon_kg,
+            &self.attr_carbon_kg,
+            &self.credits,
+        ] {
+            row.push(sig(a.mean));
+            row.push(sig(a.stddev));
+            row.push(sig(a.ci95));
+        }
+        row.push(sig(self.mean_wait_h.mean));
+        row.push(sig(self.mean_wait_h.ci95));
+        row.push(sig(self.makespan_h.mean));
+        row.push(sig(self.work_core_h.mean));
+        row.push(sig(self.utilization.mean));
+        row.push(sig(self.posted_credits.mean));
+        row.push(sig(self.posted_credits.ci95));
+        row.push(sig(self.banked_credits.mean));
+        row
+    }
+}
+
 impl SweepResults {
     /// The CSV rows (one per cell, expansion order).
     pub fn csv_rows(&self) -> Vec<Vec<String>> {
-        self.cells
-            .iter()
-            .map(|c| {
-                let mut row = c.spec.config_label();
-                row.push(c.completed.n.to_string());
-                row.push(sig(c.completed.mean));
-                row.push(sig(c.rejected.mean));
-                for a in [
-                    &c.energy_mwh,
-                    &c.op_carbon_kg,
-                    &c.attr_carbon_kg,
-                    &c.credits,
-                ] {
-                    row.push(sig(a.mean));
-                    row.push(sig(a.stddev));
-                    row.push(sig(a.ci95));
-                }
-                row.push(sig(c.mean_wait_h.mean));
-                row.push(sig(c.mean_wait_h.ci95));
-                row.push(sig(c.makespan_h.mean));
-                row.push(sig(c.work_core_h.mean));
-                row.push(sig(c.utilization.mean));
-                row.push(sig(c.posted_credits.mean));
-                row.push(sig(c.posted_credits.ci95));
-                row.push(sig(c.banked_credits.mean));
-                row
-            })
-            .collect()
+        self.cells.iter().map(CellSummary::csv_row).collect()
     }
 
     /// Writes the aggregate CSV through `green-bench`'s export path.
@@ -207,13 +211,13 @@ impl SweepResults {
     }
 
     /// The full CSV document as a string (headers + rows) — what the
-    /// determinism test compares byte-for-byte.
+    /// determinism test compares byte-for-byte. Encodes through the same
+    /// quoting helper as [`write_csv`](green_bench::export::write_csv)
+    /// and the streaming sink.
     pub fn to_csv_string(&self) -> String {
-        let mut out = CSV_HEADERS.join(",");
-        out.push('\n');
+        let mut out = green_bench::export::csv_line(&CSV_HEADERS);
         for row in self.csv_rows() {
-            out.push_str(&row.join(","));
-            out.push('\n');
+            out.push_str(&green_bench::export::csv_line(&row));
         }
         out
     }

@@ -4,6 +4,8 @@
 //! scenarios <sweep.toml> [options]
 //!
 //!   --out <file.csv>     write per-cell aggregates (with CIs) as CSV
+//!   --stream             stream rows to --out as configurations finish
+//!                        (constant memory; identical bytes)
 //!   --threads <n>        worker threads (default: all cores)
 //!   --filter <substr>    only run cells whose label contains <substr>
 //!   --list               print the expanded cells and exit without running
@@ -19,8 +21,13 @@ const USAGE: &str = "\
 scenarios — parallel Monte-Carlo scenario sweeps over the batch simulator
 
 USAGE:
-    scenarios <sweep.toml> [--out <file.csv>] [--threads <n>]
+    scenarios <sweep.toml> [--out <file.csv>] [--stream] [--threads <n>]
               [--filter <substr>] [--list] [--quiet]
+
+--stream writes aggregate rows to --out as each configuration's
+replicates complete (expansion order, byte-identical to the buffered
+CSV) instead of holding every cell in memory — the mode for grids too
+large to aggregate in RAM.
 
 The sweep file declares a Cartesian grid (policies × methods × fleets ×
 sim-years × users × backfill × workload scale × intensity scale ×
@@ -52,6 +59,7 @@ fn main() {
     let mut filter: Option<String> = None;
     let mut list = false;
     let mut quiet = false;
+    let mut stream = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -77,6 +85,7 @@ fn main() {
             }
             "--list" => list = true,
             "--quiet" => quiet = true,
+            "--stream" => stream = true,
             other if other.starts_with('-') => fail(&format!("unknown option `{other}`")),
             other => {
                 if sweep_path.replace(PathBuf::from(other)).is_some() {
@@ -140,6 +149,46 @@ fn main() {
             eprintln!("  {done}/{total} cells");
         }
     };
+    if stream {
+        let Some(out) = out else {
+            fail("--stream needs --out <file.csv> to stream into");
+        };
+        let file = std::fs::File::create(&out).unwrap_or_else(|e| {
+            eprintln!("error: creating {}: {e}", out.display());
+            std::process::exit(1);
+        });
+        let mut writer = std::io::BufWriter::new(file);
+        let summary = runner
+            .run_streamed(
+                &sweep,
+                filter.as_deref(),
+                if quiet { None } else { Some(&progress) },
+                &mut writer,
+            )
+            .and_then(|summary| {
+                use std::io::Write;
+                writer.flush()?;
+                Ok(summary)
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("error: streaming to {}: {e}", out.display());
+                std::process::exit(1);
+            });
+        if summary.configs == 0 {
+            if let Some(f) = filter.as_deref() {
+                eprintln!("warning: filter `{f}` matched no cells");
+            }
+        }
+        eprintln!(
+            "streamed {} aggregate rows ({} cells, {} events) to {}",
+            summary.configs,
+            summary.cells,
+            summary.stats.events,
+            out.display()
+        );
+        return;
+    }
+
     let results = runner.run_filtered(
         &sweep,
         filter.as_deref(),

@@ -19,17 +19,23 @@
 //!   `banking_caps`) sweep `green-market`'s incentive loop: posted
 //!   dynamic prices, elastic agents re-timing their submissions, and
 //!   per-cell settlement through the sharded credit store;
-//! * [`SweepRunner`] — the parallel driver: trace and placement tables
-//!   are built once and shared across scoped worker threads by
-//!   reference; per-replicate intensity realizations are derived inside
-//!   workers; slot-per-cell collection makes results **bit-identical for
-//!   every thread count** (asserted by `tests/determinism.rs`);
+//! * [`SweepRunner`] — the parallel driver: traces, placement tables,
+//!   intensity realizations, compiled price tables and agent
+//!   populations are each built once per distinct configuration and
+//!   `Arc`-shared across scoped worker threads ([`SweepCaches`]);
+//!   slot-per-cell collection makes results **bit-identical for every
+//!   thread count** (asserted by `tests/determinism.rs`), and
+//!   [`SweepRunner::run_streamed`] flushes aggregate rows as
+//!   configurations complete — byte-identical to the in-memory path
+//!   (asserted by `tests/streaming_golden.rs`) without ever holding the
+//!   grid in memory;
 //! * [`Aggregate`]/[`SweepResults`] — per-cell mean, standard deviation
 //!   and 95 % confidence intervals over replicates for carbon, credits,
 //!   energy, wait and utilization, exported through `green-bench`'s CSV
 //!   path;
 //! * the `scenarios` binary — `scenarios sweep.toml --out results.csv`
-//!   runs a named sweep file end to end.
+//!   runs a named sweep file end to end (`--stream` for the streaming
+//!   sink).
 //!
 //! # Example
 //!
@@ -55,6 +61,9 @@ pub mod sweep;
 pub mod toml;
 
 pub use agg::{Aggregate, CellSummary, SweepResults, CSV_HEADERS};
-pub use runner::{cell_label, CellMetrics, SweepRunner, SweepWorld};
+pub use runner::{
+    cell_label, CellMetrics, FleetSlice, RunStats, StreamSummary, SweepCaches, SweepRunner,
+    SweepWorld,
+};
 pub use spec::{fleet_index, MethodSpec, PolicySpec, ScenarioSpec, SpecError};
 pub use sweep::{Cell, Sweep, WorkloadConfig, WorkloadPreset};

@@ -1,33 +1,43 @@
 //! The parallel sweep runner.
 //!
-//! Expensive state is built **once** and shared by reference across
-//! worker threads:
+//! Expensive state is built **once** and `Arc`-shared across worker
+//! threads and cells:
 //!
 //! * the base [`Trace`] (plus one scaled variant per distinct
 //!   `workload_scale`),
-//! * one projected [`PlacementTable`] per distinct fleet subset,
-//! * the fleet machine specs.
+//! * one projected [`PlacementTable`] + sub-fleet per distinct fleet
+//!   subset ([`FleetSlice`]),
+//! * one hourly-intensity realization per distinct
+//!   `(fleet, seed, scale, jitter)` — cells that differ only in policy,
+//!   method, elasticity, schedule or cap reuse the same realization,
+//! * one compiled posted-price table per distinct
+//!   `(realization, schedule)`, and one agent population per distinct
+//!   `(users, elasticity)`.
 //!
-//! Only the per-replicate hourly intensity realization is derived inside
-//! a worker (a few thousand floats — regenerating beats synchronizing).
-//! Workers claim cell indices from an atomic counter and write results
-//! into per-index slots, so the assembled output is a pure function of
-//! the sweep spec: **thread count cannot change a single byte** of the
-//! aggregated results, which `tests/determinism.rs` asserts.
+//! Workers claim cell indices from an atomic counter and report results
+//! keyed by index, so the assembled output is a pure function of the
+//! sweep spec: **thread count cannot change a single byte** of the
+//! aggregated results, which `tests/determinism.rs` asserts — and the
+//! streaming sink produces the same bytes as the in-memory path, which
+//! `tests/streaming_golden.rs` asserts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use green_batchsim::{
-    intensity_for, run_cell, MarketInputs, PlacementTable, RunMetrics, SimConfig,
+    intensity_for, run_cell, MarketInputs, PlacementTable, PriceTable, RunMetrics, SimConfig,
 };
 use green_carbon::HourlyTrace;
 use green_machines::{simulation_fleet, FleetMachine};
-use green_market::{market_population, price_table, settle_run, CreditBank, ShardedLedger};
+use green_market::{
+    market_population, price_table, settle_run, CreditBank, PriceSpec, ShardedLedger,
+};
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
 use green_workload::Trace;
 
-use crate::agg::{CellSummary, SweepResults};
+use crate::agg::{CellSummary, SweepResults, CSV_HEADERS};
 use crate::spec::ScenarioSpec;
 use crate::sweep::{Cell, Sweep};
 
@@ -59,6 +69,9 @@ pub struct CellMetrics {
     pub posted_credits: f64,
     /// Credits banked from off-peak savings after cap and decay.
     pub banked_credits: f64,
+    /// Simulator events processed (deterministic work counter; not
+    /// aggregated into the CSV).
+    pub events: usize,
 }
 
 impl CellMetrics {
@@ -90,25 +103,37 @@ impl CellMetrics {
             utilization,
             posted_credits: 0.0,
             banked_credits: 0.0,
+            events: metrics.events,
         }
     }
 }
 
+/// One fleet subset's shared simulation inputs: the Table 5 indices, the
+/// materialized sub-fleet, and the projected placement table.
+pub struct FleetSlice {
+    /// Indices into the full Table 5 fleet.
+    pub indices: Vec<usize>,
+    /// The materialized sub-fleet, in subset order.
+    pub machines: Vec<FleetMachine>,
+    /// The placement table projected onto the subset.
+    pub table: PlacementTable,
+}
+
 /// The shared artifacts of one simulated user population: its trace
-/// variants (one per workload scale) and placement tables (one per fleet
+/// variants (one per workload scale) and fleet slices (one per fleet
 /// subset). The submitting population changes the trace itself — who
 /// owns which application archetypes — so each distinct `users` value
 /// gets its own world slice.
 pub struct PopulationWorld {
     /// The user-population size this slice models.
     pub users: u32,
-    /// Trace variants: `(workload_scale, trace)`, deduplicated.
-    pub traces: Vec<(f64, Trace)>,
+    /// Trace variants: `(workload_scale, trace)`, deduplicated and
+    /// `Arc`-shared with every cell that replays them.
+    pub traces: Vec<(f64, Arc<Trace>)>,
     /// The full-fleet placement table for this population's archetypes.
     pub table: PlacementTable,
-    /// Projected tables and sub-fleets per distinct fleet subset:
-    /// `(indices, sub_fleet, sub_table)`.
-    pub fleets: Vec<(Vec<usize>, Vec<FleetMachine>, PlacementTable)>,
+    /// One shared slice per distinct fleet subset.
+    pub fleets: Vec<Arc<FleetSlice>>,
 }
 
 /// Shared, immutable sweep state — built once, borrowed by every worker.
@@ -150,29 +175,31 @@ impl SweepWorld {
                 base
             };
             let table = PlacementTable::build(&base, &fleet, &predictor);
+            let base = Arc::new(base);
 
-            let mut traces: Vec<(f64, Trace)> = Vec::new();
+            let mut traces: Vec<(f64, Arc<Trace>)> = Vec::new();
             for &scale in &sweep.workload_scales {
                 if traces.iter().any(|(s, _)| *s == scale) {
                     continue;
                 }
                 let trace = if scale == 1.0 {
-                    base.clone()
+                    Arc::clone(&base)
                 } else {
-                    base.scaled(scale, sweep.workload.seed)
+                    Arc::new(base.scaled(scale, sweep.workload.seed))
                 };
                 traces.push((scale, trace));
             }
 
-            let mut fleets: Vec<(Vec<usize>, Vec<FleetMachine>, PlacementTable)> = Vec::new();
+            let mut fleets: Vec<Arc<FleetSlice>> = Vec::new();
             for subset in &sweep.fleets {
-                if fleets.iter().any(|(s, _, _)| s == subset) {
+                if fleets.iter().any(|f| &f.indices == subset) {
                     continue;
                 }
-                let sub_fleet: Vec<FleetMachine> =
-                    subset.iter().map(|&i| fleet[i].clone()).collect();
-                let sub_table = table.project(subset);
-                fleets.push((subset.clone(), sub_fleet, sub_table));
+                fleets.push(Arc::new(FleetSlice {
+                    indices: subset.clone(),
+                    machines: subset.iter().map(|&i| fleet[i].clone()).collect(),
+                    table: table.project(subset),
+                }));
             }
 
             populations.push(PopulationWorld {
@@ -197,8 +224,8 @@ impl SweepWorld {
             .expect("population prepared at build time")
     }
 
-    /// Runs one cell against the shared state.
-    pub fn run_cell(&self, spec: &ScenarioSpec) -> CellMetrics {
+    /// Runs one cell against the shared state and caches.
+    pub fn run_cell(&self, spec: &ScenarioSpec, caches: &SweepCaches) -> CellMetrics {
         let population = self.population_for(spec.users);
         let trace = &population
             .traces
@@ -206,54 +233,35 @@ impl SweepWorld {
             .find(|(s, _)| *s == spec.workload_scale)
             .expect("scale prepared at build time")
             .1;
-        let (_, sub_fleet, sub_table) = population
+        let slice = population
             .fleets
             .iter()
-            .find(|(s, _, _)| s.as_slice() == spec.fleet.as_slice())
+            .find(|f| f.indices.as_slice() == spec.fleet.as_slice())
             .expect("fleet subset prepared at build time");
-        // The replicate's intensity realization: seeded traces, then the
-        // cell's scale/jitter perturbation.
-        let intensity: Vec<HourlyTrace> = intensity_for(sub_fleet, spec.seed)
-            .iter()
-            .enumerate()
-            .map(|(m, t)| {
-                if spec.intensity_scale == 1.0 && spec.intensity_jitter == 0.0 {
-                    t.clone()
-                } else {
-                    t.perturbed(
-                        spec.intensity_scale,
-                        spec.intensity_jitter,
-                        spec.seed ^ (m as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    )
-                }
-            })
-            .collect();
-        // The market, when active: posted prices compiled against this
-        // cell's intensity realization, agents seeded from the shared
-        // workload seed and scaled by the cell's elasticity.
-        // One compiled price table per market cell; cloned once into the
-        // simulator inputs (only when the market actually drives
-        // decisions — settlement-only cells must simulate identically to
-        // their no-market counterparts), with this copy kept for
-        // settlement below.
-        let prices = spec
-            .market_active()
-            .then(|| price_table(&intensity, spec.price_schedule));
+        // The replicate's intensity realization and (when the cell is a
+        // market cell) its compiled posted prices: shared artifacts,
+        // never re-derived per cell.
+        let intensity = caches.realization(spec);
+        let prices = spec.market_active().then(|| caches.prices(spec));
         let config = SimConfig {
             policy: spec.policy.to_policy(),
             decision_method: spec.method.to_method(),
             sim_year: spec.sim_year,
             users: spec.users,
             backfill_depth: spec.backfill_depth,
+            // Only when the market actually drives decisions —
+            // settlement-only cells must simulate identically to their
+            // no-market counterparts.
             market: spec.market_drives_decisions().then(|| MarketInputs {
-                prices: prices.clone().expect("prices exist when market is active"),
-                agents: market_population(spec.users as usize, self.agent_seed, spec.elasticity),
+                prices: Arc::clone(prices.as_ref().expect("prices exist when market is active")),
+                agents: caches.agents(spec),
                 max_delay_hours: MAX_DELAY_HOURS,
                 shift_threshold: SHIFT_THRESHOLD,
             }),
         };
-        let metrics = run_cell(trace, sub_fleet, sub_table, &intensity, config);
-        let capacity: f64 = sub_fleet
+        let metrics = run_cell(trace, &slice.machines, &slice.table, &intensity, config);
+        let capacity: f64 = slice
+            .machines
             .iter()
             .map(|m| {
                 if m.per_user {
@@ -282,6 +290,207 @@ impl SweepWorld {
         }
         cell
     }
+}
+
+/// Key of one hourly-intensity realization: the fleet subset plus the
+/// replicate seed and perturbation knobs (floats keyed by their bits —
+/// axis values compare exactly, never arithmetically).
+type RealizationKey = (Vec<usize>, u64, u64, u64);
+
+fn realization_key(spec: &ScenarioSpec) -> RealizationKey {
+    (
+        spec.fleet.clone(),
+        spec.seed,
+        spec.intensity_scale.to_bits(),
+        spec.intensity_jitter.to_bits(),
+    )
+}
+
+/// Derived per-cell artifacts, deduplicated across the whole grid and
+/// `Arc`-shared with every cell that needs them. Built in a parallel
+/// prepass over the distinct keys the expanded cells reach, so workers
+/// only ever read.
+pub struct SweepCaches {
+    realizations: HashMap<RealizationKey, Arc<Vec<HourlyTrace>>>,
+    prices: HashMap<(RealizationKey, PriceSpec), Arc<PriceTable>>,
+    agents: HashMap<(u32, u64), Arc<Vec<green_batchsim::MarketAgent>>>,
+}
+
+impl SweepCaches {
+    /// Builds the realization / price-table / agent caches for `cells`,
+    /// fanning the (independent) realizations out over `threads` workers.
+    pub fn build(world: &SweepWorld, cells: &[Cell], threads: usize) -> SweepCaches {
+        // Distinct realization keys, in first-seen (deterministic) order.
+        let mut keys: Vec<RealizationKey> = Vec::new();
+        let mut price_keys: Vec<(RealizationKey, PriceSpec)> = Vec::new();
+        let mut agent_keys: Vec<(u32, u64)> = Vec::new();
+        for cell in cells {
+            let spec = &cell.spec;
+            let key = realization_key(spec);
+            if !keys.contains(&key) {
+                keys.push(key.clone());
+            }
+            if spec.market_active() {
+                let pkey = (key, spec.price_schedule);
+                if !price_keys.contains(&pkey) {
+                    price_keys.push(pkey);
+                }
+            }
+            if spec.market_drives_decisions() {
+                let akey = (spec.users, spec.elasticity.to_bits());
+                if !agent_keys.contains(&akey) {
+                    agent_keys.push(akey);
+                }
+            }
+        }
+
+        // Realizations are independent and a few milliseconds each:
+        // claim-by-index across workers, exactly like cells.
+        let slots: Vec<Mutex<Option<Arc<Vec<HourlyTrace>>>>> =
+            keys.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let build_one = |key: &RealizationKey| -> Arc<Vec<HourlyTrace>> {
+            let (fleet_indices, seed, scale_bits, jitter_bits) = key;
+            let machines: Vec<FleetMachine> = fleet_indices
+                .iter()
+                .map(|&i| world.fleet[i].clone())
+                .collect();
+            let scale = f64::from_bits(*scale_bits);
+            let jitter = f64::from_bits(*jitter_bits);
+            let realization = intensity_for(&machines, *seed)
+                .into_iter()
+                .enumerate()
+                .map(|(m, t)| {
+                    if scale == 1.0 && jitter == 0.0 {
+                        t
+                    } else {
+                        t.perturbed(
+                            scale,
+                            jitter,
+                            seed ^ (m as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        )
+                    }
+                })
+                .collect();
+            Arc::new(realization)
+        };
+        let workers = threads.max(1).min(keys.len().max(1));
+        if workers <= 1 {
+            for (key, slot) in keys.iter().zip(&slots) {
+                *slot.lock().expect("slot lock") = Some(build_one(key));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= keys.len() {
+                            break;
+                        }
+                        let built = build_one(&keys[i]);
+                        *slots[i].lock().expect("slot lock") = Some(built);
+                    });
+                }
+            });
+        }
+        let realizations: HashMap<RealizationKey, Arc<Vec<HourlyTrace>>> = keys
+            .into_iter()
+            .zip(slots)
+            .map(|(key, slot)| {
+                let built = slot
+                    .into_inner()
+                    .expect("slot lock")
+                    .expect("every realization built");
+                (key, built)
+            })
+            .collect();
+
+        let prices = price_keys
+            .into_iter()
+            .map(|(key, schedule)| {
+                let realization = &realizations[&key];
+                let table = Arc::new(price_table(realization, schedule));
+                ((key, schedule), table)
+            })
+            .collect();
+
+        let agents = agent_keys
+            .into_iter()
+            .map(|(users, elasticity_bits)| {
+                let population = Arc::new(market_population(
+                    users as usize,
+                    world.agent_seed,
+                    f64::from_bits(elasticity_bits),
+                ));
+                ((users, elasticity_bits), population)
+            })
+            .collect();
+
+        SweepCaches {
+            realizations,
+            prices,
+            agents,
+        }
+    }
+
+    /// The shared intensity realization of a cell.
+    pub fn realization(&self, spec: &ScenarioSpec) -> Arc<Vec<HourlyTrace>> {
+        Arc::clone(
+            self.realizations
+                .get(&realization_key(spec))
+                .expect("realization prepared in the cache prepass"),
+        )
+    }
+
+    /// The shared compiled price table of a market cell.
+    pub fn prices(&self, spec: &ScenarioSpec) -> Arc<PriceTable> {
+        Arc::clone(
+            self.prices
+                .get(&(realization_key(spec), spec.price_schedule))
+                .expect("price table prepared in the cache prepass"),
+        )
+    }
+
+    /// The shared agent population of a market cell.
+    pub fn agents(&self, spec: &ScenarioSpec) -> Arc<Vec<green_batchsim::MarketAgent>> {
+        Arc::clone(
+            self.agents
+                .get(&(spec.users, spec.elasticity.to_bits()))
+                .expect("agent population prepared in the cache prepass"),
+        )
+    }
+
+    /// Number of distinct intensity realizations built.
+    pub fn realization_count(&self) -> usize {
+        self.realizations.len()
+    }
+
+    /// Number of distinct compiled price tables built.
+    pub fn price_table_count(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Number of distinct agent populations built.
+    pub fn agent_population_count(&self) -> usize {
+        self.agents.len()
+    }
+}
+
+/// Deterministic work counters of one sweep execution — what the perf
+/// suite trends and the CI bench gate compares, instead of noisy wall
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Cells executed.
+    pub cells: usize,
+    /// Simulator events processed, summed over cells.
+    pub events: u64,
+    /// Distinct intensity realizations derived (shared across cells).
+    pub realizations: usize,
+    /// Distinct posted-price tables compiled.
+    pub price_tables: usize,
+    /// Distinct agent populations sampled.
+    pub agent_populations: usize,
 }
 
 /// Daily decay applied to banked savings in market cells.
@@ -331,6 +540,17 @@ fn filter_cells(cells: Vec<Cell>, filter: Option<&str>) -> Vec<Cell> {
         .into_iter()
         .filter(|c| cell_label(&c.spec).contains(filter))
         .collect()
+}
+
+/// What a streamed sweep run reports once every row is flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Grid configurations written (CSV rows).
+    pub configs: usize,
+    /// Cells executed (configs × replicates).
+    pub cells: usize,
+    /// Deterministic work counters of the run.
+    pub stats: RunStats,
 }
 
 /// The parallel sweep driver.
@@ -386,6 +606,100 @@ impl SweepRunner {
         filter: Option<&str>,
         progress: Option<&ProgressFn>,
     ) -> SweepResults {
+        self.run_collect(sweep, filter, progress).0
+    }
+
+    /// [`run_filtered`](SweepRunner::run_filtered), also returning the
+    /// run's deterministic work counters.
+    pub fn run_collect(
+        &self,
+        sweep: &Sweep,
+        filter: Option<&str>,
+        progress: Option<&ProgressFn>,
+    ) -> (SweepResults, RunStats) {
+        let (world, cells, caches) = self.prepare(sweep, filter);
+        let n = cells.len();
+        let events = AtomicU64::new(0);
+        let slots: Vec<Mutex<Option<CellMetrics>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.execute(&world, &caches, &cells, progress, &|index, metrics| {
+            events.fetch_add(metrics.events as u64, Ordering::Relaxed);
+            *slots[index].lock().expect("slot lock") = Some(metrics);
+        });
+        let results: Vec<CellMetrics> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every cell executed")
+            })
+            .collect();
+
+        let replicates = sweep.seeds.len();
+        let mut summaries = Vec::with_capacity(n / replicates.max(1));
+        for chunk in results.chunks(replicates) {
+            let config_spec = &cells[summaries.len() * replicates].spec;
+            summaries.push(CellSummary::of(config_spec, chunk));
+        }
+        let stats = self.stats_of(&caches, n, events.into_inner());
+        (
+            SweepResults {
+                name: sweep.name.clone(),
+                replicates,
+                cells: summaries,
+            },
+            stats,
+        )
+    }
+
+    /// Runs the sweep, streaming aggregate CSV rows to `out` as each
+    /// configuration's replicates complete, in expansion order — the
+    /// grid never holds more than the in-flight cell results in memory,
+    /// and the bytes written are identical to
+    /// [`SweepResults::to_csv_string`] on the same sweep.
+    pub fn run_streamed<W: Write + Send>(
+        &self,
+        sweep: &Sweep,
+        filter: Option<&str>,
+        progress: Option<&ProgressFn>,
+        out: &mut W,
+    ) -> std::io::Result<StreamSummary> {
+        let (world, cells, caches) = self.prepare(sweep, filter);
+        let n = cells.len();
+        let replicates = sweep.seeds.len().max(1);
+        out.write_all(green_bench::export::csv_line(&CSV_HEADERS).as_bytes())?;
+
+        let events = AtomicU64::new(0);
+        let sink = Mutex::new(StreamSink {
+            replicates,
+            cells: &cells,
+            pending: HashMap::new(),
+            parked: BTreeMap::new(),
+            next_flush: 0,
+            out,
+            error: None,
+            flushed: 0,
+        });
+        self.execute(&world, &caches, &cells, progress, &|index, metrics| {
+            events.fetch_add(metrics.events as u64, Ordering::Relaxed);
+            sink.lock().expect("sink lock").offer(index, metrics);
+        });
+        let sink = sink.into_inner().expect("sink lock");
+        if let Some(e) = sink.error {
+            return Err(e);
+        }
+        debug_assert!(sink.pending.is_empty(), "incomplete configuration groups");
+        let configs = sink.flushed;
+        let stats = self.stats_of(&caches, n, events.into_inner());
+        Ok(StreamSummary {
+            configs,
+            cells: n,
+            stats,
+        })
+    }
+
+    /// Expands, filters and prepares a sweep: shared world + caches for
+    /// exactly the cells that will run.
+    fn prepare(&self, sweep: &Sweep, filter: Option<&str>) -> (SweepWorld, Vec<Cell>, SweepCaches) {
         sweep.validate().expect("invalid sweep");
         let cells = filter_cells(sweep.expand(), filter);
         // Build only the world slices the surviving cells reach — the
@@ -398,46 +712,43 @@ impl SweepRunner {
         needed.workload_scales = dedup_by(&cells, |c| c.spec.workload_scale);
         needed.fleets = dedup_by(&cells, |c| c.spec.fleet.clone());
         let world = SweepWorld::build(&needed);
-        let n = cells.len();
-        let results = self.execute(&world, &cells, progress);
+        let caches = SweepCaches::build(&world, &cells, self.threads);
+        (world, cells, caches)
+    }
 
-        let replicates = sweep.seeds.len();
-        let mut summaries = Vec::with_capacity(n / replicates);
-        for chunk in results.chunks(replicates) {
-            let config_spec = &cells[summaries.len() * replicates].spec;
-            summaries.push(CellSummary::of(config_spec, chunk));
-        }
-        SweepResults {
-            name: sweep.name.clone(),
-            replicates,
-            cells: summaries,
+    fn stats_of(&self, caches: &SweepCaches, cells: usize, events: u64) -> RunStats {
+        RunStats {
+            cells,
+            events,
+            realizations: caches.realization_count(),
+            price_tables: caches.price_table_count(),
+            agent_populations: caches.agent_population_count(),
         }
     }
 
-    /// Executes every cell, fanning out across workers; slot-per-index
-    /// collection keeps output order equal to expansion order.
+    /// Executes every cell, fanning out across workers; results are
+    /// reported to `sink` keyed by expansion index (any thread, any
+    /// order).
     fn execute(
         &self,
         world: &SweepWorld,
+        caches: &SweepCaches,
         cells: &[Cell],
         progress: Option<&ProgressFn>,
-    ) -> Vec<CellMetrics> {
+        sink: &(dyn Fn(usize, CellMetrics) + Sync),
+    ) {
         let n = cells.len();
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
-            return cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    let m = world.run_cell(&c.spec);
-                    if let Some(cb) = progress {
-                        cb(i + 1, n);
-                    }
-                    m
-                })
-                .collect();
+            for (i, c) in cells.iter().enumerate() {
+                let metrics = world.run_cell(&c.spec, caches);
+                sink(i, metrics);
+                if let Some(cb) = progress {
+                    cb(i + 1, n);
+                }
+            }
+            return;
         }
-        let slots: Vec<Mutex<Option<CellMetrics>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -447,8 +758,8 @@ impl SweepRunner {
                     if i >= n {
                         break;
                     }
-                    let metrics = world.run_cell(&cells[i].spec);
-                    *slots[i].lock().expect("slot lock") = Some(metrics);
+                    let metrics = world.run_cell(&cells[i].spec, caches);
+                    sink(i, metrics);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(cb) = progress {
                         cb(finished, n);
@@ -456,14 +767,52 @@ impl SweepRunner {
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every cell executed")
-            })
-            .collect()
+    }
+}
+
+/// The streaming aggregation sink: collects a configuration's replicates
+/// as workers finish them (any order), aggregates each completed group,
+/// and flushes CSV rows strictly in expansion order. Memory held is the
+/// in-flight groups plus any completed-but-out-of-order summaries — not
+/// the whole grid.
+struct StreamSink<'a, W: Write> {
+    replicates: usize,
+    cells: &'a [Cell],
+    /// Partially-filled configuration groups, keyed by config index.
+    pending: HashMap<usize, Vec<Option<CellMetrics>>>,
+    /// Aggregated groups waiting for their turn to flush in order.
+    parked: BTreeMap<usize, CellSummary>,
+    next_flush: usize,
+    out: &'a mut W,
+    error: Option<std::io::Error>,
+    flushed: usize,
+}
+
+impl<W: Write> StreamSink<'_, W> {
+    fn offer(&mut self, index: usize, metrics: CellMetrics) {
+        let config = index / self.replicates;
+        let group = self
+            .pending
+            .entry(config)
+            .or_insert_with(|| vec![None; self.replicates]);
+        group[index % self.replicates] = Some(metrics);
+        if group.iter().any(Option::is_none) {
+            return;
+        }
+        let group = self.pending.remove(&config).expect("group exists");
+        let chunk: Vec<CellMetrics> = group.into_iter().map(|m| m.expect("full group")).collect();
+        let spec = &self.cells[config * self.replicates].spec;
+        self.parked.insert(config, CellSummary::of(spec, &chunk));
+        while let Some(summary) = self.parked.remove(&self.next_flush) {
+            if self.error.is_none() {
+                let row = green_bench::export::csv_line(&summary.csv_row());
+                if let Err(e) = self.out.write_all(row.as_bytes()) {
+                    self.error = Some(e);
+                }
+            }
+            self.next_flush += 1;
+            self.flushed += 1;
+        }
     }
 }
 
@@ -494,6 +843,32 @@ mod tests {
             assert_eq!(population.fleets.len(), 2);
             assert_eq!(population.table.machine_count(), 4);
         }
+    }
+
+    #[test]
+    fn caches_dedupe_realizations_and_prices() {
+        let mut sweep = tiny_sweep();
+        // 2 policies × 1 method × 2 schedules × 2 seeds = 8 cells, but
+        // only 2 distinct realizations (the seeds) and 4 price tables
+        // (realization × schedule); one agent population (users ×
+        // elasticity is a singleton).
+        sweep.policies = vec![PolicySpec::Greedy, PolicySpec::Adaptive];
+        sweep.price_schedules = vec![
+            PriceSpec::parse("carbon:0.5").unwrap(),
+            PriceSpec::parse("tou:0.25").unwrap(),
+        ];
+        sweep.elasticities = vec![1.0];
+        let cells = sweep.expand();
+        assert_eq!(cells.len(), 8);
+        let world = SweepWorld::build(&sweep);
+        let caches = SweepCaches::build(&world, &cells, 2);
+        assert_eq!(caches.realization_count(), 2);
+        assert_eq!(caches.price_table_count(), 4);
+        assert_eq!(caches.agent_population_count(), 1);
+        // Cells sharing a seed share the realization allocation itself.
+        let a = caches.realization(&cells[0].spec);
+        let b = caches.realization(&cells[4].spec);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -548,6 +923,19 @@ mod tests {
     }
 
     #[test]
+    fn run_collect_reports_work_counters() {
+        let sweep = tiny_sweep();
+        let (results, stats) = SweepRunner::new(2).run_collect(&sweep, None, None);
+        assert_eq!(stats.cells, 4);
+        assert_eq!(stats.realizations, 2, "one per replicate seed");
+        assert_eq!(stats.price_tables, 0, "no market axes");
+        assert_eq!(stats.agent_populations, 0);
+        // Every completed job contributes an arrival and a finish.
+        let completed: f64 = results.cells.iter().map(|c| c.completed.mean * 2.0).sum();
+        assert!(stats.events as f64 >= completed);
+    }
+
+    #[test]
     fn banking_axis_does_not_perturb_the_simulation() {
         // The banking cap is settlement-only: a greedy/flat-price cell
         // with banking enabled must place, time, and charge every job
@@ -581,5 +969,20 @@ mod tests {
         let cell = &results.cells[0];
         assert!(cell.credits.stddev > 0.0, "replicates should differ");
         assert!(cell.credits.ci95 > 0.0);
+    }
+
+    #[test]
+    fn streamed_rows_match_the_in_memory_csv() {
+        let sweep = tiny_sweep();
+        let in_memory = SweepRunner::new(1).run(&sweep).to_csv_string();
+        for threads in [1, 4] {
+            let mut streamed = Vec::new();
+            let summary = SweepRunner::new(threads)
+                .run_streamed(&sweep, None, None, &mut streamed)
+                .expect("stream to a Vec cannot fail");
+            assert_eq!(summary.configs, 2);
+            assert_eq!(summary.cells, 4);
+            assert_eq!(String::from_utf8(streamed).unwrap(), in_memory);
+        }
     }
 }

@@ -99,7 +99,7 @@ fn credit_store_backends_agree_on_a_settlement_stream() {
     let fleet = green_machines::simulation_fleet();
     let intensity: Vec<green_carbon::HourlyTrace> =
         green_batchsim::intensity_for(&fleet, spec.seed);
-    let prices = price_table(&intensity, spec.price_schedule);
+    let prices = std::sync::Arc::new(price_table(&intensity, spec.price_schedule));
     let population = &world.populations[0];
     let trace = &population
         .traces
@@ -107,7 +107,7 @@ fn credit_store_backends_agree_on_a_settlement_stream() {
         .find(|(s, _)| *s == 0.25)
         .unwrap()
         .1;
-    let (_, sub_fleet, sub_table) = &population.fleets[0];
+    let slice = &population.fleets[0];
     let config = green_batchsim::SimConfig {
         policy: spec.policy.to_policy(),
         decision_method: spec.method.to_method(),
@@ -115,13 +115,18 @@ fn credit_store_backends_agree_on_a_settlement_stream() {
         users: spec.users,
         backfill_depth: spec.backfill_depth,
         market: Some(green_batchsim::MarketInputs {
-            prices: prices.clone(),
-            agents: market_population(spec.users as usize, sweep.workload.seed, spec.elasticity),
+            prices: std::sync::Arc::clone(&prices),
+            agents: std::sync::Arc::new(market_population(
+                spec.users as usize,
+                sweep.workload.seed,
+                spec.elasticity,
+            )),
             max_delay_hours: 24,
             shift_threshold: 0.1,
         }),
     };
-    let metrics = green_batchsim::run_cell(trace, sub_fleet, sub_table, &intensity, config);
+    let metrics =
+        green_batchsim::run_cell(trace, &slice.machines, &slice.table, &intensity, config);
     assert!(!metrics.outcomes.is_empty());
 
     let locked = LockedLedger::new();

@@ -1,0 +1,51 @@
+//! Golden equivalence of the two aggregation paths on the shipped
+//! example grid: the streaming sink must emit byte-identical CSV to the
+//! in-memory path, at every thread count, on
+//! `examples/sweeps/sensitivity.toml` exactly as users run it.
+
+use green_scenarios::{Sweep, SweepRunner};
+use std::path::PathBuf;
+
+fn sensitivity_sweep() -> Sweep {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/sweeps/sensitivity.toml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Sweep::from_toml_str(&text).expect("example sweep parses")
+}
+
+#[test]
+fn streamed_csv_is_byte_identical_to_in_memory() {
+    let sweep = sensitivity_sweep();
+    assert_eq!(sweep.cell_count(), 36, "the example grid moved");
+
+    let in_memory = SweepRunner::new(1).run(&sweep).to_csv_string();
+    for threads in [1, 2, 4] {
+        let mut streamed = Vec::new();
+        let summary = SweepRunner::new(threads)
+            .run_streamed(&sweep, None, None, &mut streamed)
+            .expect("streaming to a Vec cannot fail");
+        assert_eq!(summary.cells, 36);
+        assert_eq!(summary.configs, 12);
+        assert_eq!(
+            String::from_utf8(streamed).unwrap(),
+            in_memory,
+            "streaming path diverged from the in-memory CSV at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn streamed_filtered_rows_match_the_filtered_run() {
+    let sweep = sensitivity_sweep();
+    let filter = Some("greedy/eba");
+    let in_memory = SweepRunner::new(2)
+        .run_filtered(&sweep, filter, None)
+        .to_csv_string();
+    let mut streamed = Vec::new();
+    let summary = SweepRunner::new(2)
+        .run_streamed(&sweep, filter, None, &mut streamed)
+        .expect("streaming to a Vec cannot fail");
+    assert_eq!(summary.configs, 2, "greedy/eba × two intensity scales");
+    assert_eq!(String::from_utf8(streamed).unwrap(), in_memory);
+}

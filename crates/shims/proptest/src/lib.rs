@@ -267,7 +267,7 @@ pub mod prop {
             VecStrategy { element, lengths }
         }
 
-        /// Strategy produced by [`vec`].
+        /// Strategy produced by [`vec()`](fn@vec).
         pub struct VecStrategy<S> {
             element: S,
             lengths: core::ops::Range<usize>,

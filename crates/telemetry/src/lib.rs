@@ -5,7 +5,7 @@
 //!
 //! The paper's green-ACCESS endpoints poll the RAPL interface and hardware
 //! counters, stream both through Kafka, and a Faust-based monitor
-//! "periodically fit[s] a power model between performance counters and
+//! "periodically fit\[s\] a power model between performance counters and
 //! measured energy", aggregating per-process estimates into task energy.
 //! This crate reproduces that pipeline end to end:
 //!

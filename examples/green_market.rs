@@ -50,7 +50,7 @@ fn main() {
     // 2. The pricing engine: carbon-indexed posted prices, one series
     //    per machine, precompiled from the grid traces.
     let schedule = PriceSpec::parse("carbon:1.5").expect("valid schedule");
-    let prices = price_table(&intensity, schedule);
+    let prices = std::sync::Arc::new(price_table(&intensity, schedule));
     println!(
         "posted schedule `{}` over {} machines",
         schedule.label(),
@@ -61,8 +61,8 @@ fn main() {
     let run_with = |elasticity: f64| -> RunMetrics {
         let config = SimConfig::new(Policy::Adaptive, green_accounting::MethodKind::Cba, users)
             .with_market(MarketInputs {
-                prices: prices.clone(),
-                agents: market_population(users as usize, seed, elasticity),
+                prices: std::sync::Arc::clone(&prices),
+                agents: std::sync::Arc::new(market_population(users as usize, seed, elasticity)),
                 max_delay_hours: 24,
                 shift_threshold: 0.1,
             });
