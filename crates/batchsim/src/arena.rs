@@ -1,0 +1,59 @@
+//! Reusable simulation state.
+//!
+//! A [`SimArena`] owns every growable buffer one simulation run needs —
+//! cluster scheduling state (per-user sub-queues, ready index, running
+//! tables), the calendar event queue, the per-job state tables, and the
+//! outcome records. [`Simulator::run_in`](crate::Simulator::run_in)
+//! borrows the arena instead of allocating, so a sweep worker that
+//! simulates thousands of cells allocates once per sweep rather than
+//! once per cell: after the first cell, steady-state allocation traffic
+//! is essentially zero.
+//!
+//! The arena is plain state, not a lifetime-bearing allocator: buffers
+//! are `clear()`ed (capacity kept) between runs, and the one vector
+//! that must leave the arena — the outcomes — is handed back through
+//! [`SimArena::recycle`] once the caller has reduced the metrics.
+
+use crate::cluster::{Cluster, QueuedJob};
+use crate::event::EventQueue;
+use crate::metrics::{JobOutcome, RunMetrics};
+use crate::policy::MachineOption;
+
+/// Reusable per-run simulation state; see the module docs.
+#[derive(Default)]
+pub struct SimArena {
+    /// One scheduling state per fleet machine, reconfigured per run.
+    pub(crate) clusters: Vec<Cluster>,
+    /// The calendar event queue (buckets and front heap reused).
+    pub(crate) events: EventQueue,
+    /// Per-job start time (seconds; NaN until started).
+    pub(crate) started_at: Vec<f64>,
+    /// Per-job "already postponed once" flag (GreedyShift/Adaptive).
+    pub(crate) shifted: Vec<bool>,
+    /// Spare outcome storage, recycled between runs.
+    pub(crate) outcomes: Vec<JobOutcome>,
+    /// Scratch: jobs started by one scheduling pass.
+    pub(crate) started_buf: Vec<QueuedJob>,
+    /// Scratch: the policy's per-machine options for one arrival.
+    pub(crate) options_buf: Vec<MachineOption>,
+    /// Scratch: per-machine estimated waits (adaptive agents).
+    pub(crate) waits_buf: Vec<f64>,
+}
+
+impl SimArena {
+    /// An empty arena; buffers grow to the first run's sizes and stay.
+    pub fn new() -> SimArena {
+        SimArena::default()
+    }
+
+    /// Returns a finished run's outcome storage to the arena so the next
+    /// run reuses its capacity. Callers that keep the metrics alive
+    /// simply skip this — the arena then grows a fresh vector next run.
+    pub fn recycle(&mut self, metrics: RunMetrics) {
+        let mut outcomes = metrics.outcomes;
+        if outcomes.capacity() > self.outcomes.capacity() {
+            outcomes.clear();
+            self.outcomes = outcomes;
+        }
+    }
+}

@@ -1,10 +1,23 @@
 //! Per-cluster scheduling: FCFS with EASY-style backfilling over a core
 //! pool, at slice granularity, with the paper's one-running-job-per-user
 //! constraint.
+//!
+//! The queue is organized as **per-user sub-queues** plus a **ready-user
+//! index** (users with at least one queued job and nothing running
+//! here). Only ready users' jobs can possibly start, so a scheduling
+//! pass merges just those sub-queues in submission order instead of
+//! scanning the whole interleaved queue past thousands of user-blocked
+//! entries — the visit sequence (and therefore every start, reservation
+//! and backfill decision) is bit-for-bit the sequence the flat scan
+//! produced, but each pass costs O(visited) instead of O(queue). On the
+//! paper-scale workload this removes the two O(queue)-per-event terms
+//! (the busy-user skip scan and the started-entry compaction) that
+//! dominated the simulator's runtime.
 
 use green_units::{TimePoint, TimeSpan};
 use green_workload::UserId;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// A job waiting in a cluster queue.
 #[derive(Debug, Clone, Copy)]
@@ -22,9 +35,18 @@ pub struct QueuedJob {
     pub submitted: TimePoint,
 }
 
+/// A queued job stamped with its cluster-wide submission sequence — the
+/// key the per-user sub-queues are merged by.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    seq: u64,
+    job: QueuedJob,
+}
+
 /// A job currently executing.
 #[derive(Debug, Clone, Copy)]
 struct RunningJob {
+    job: usize,
     user: UserId,
     cores: u32,
     ends: TimePoint,
@@ -34,6 +56,9 @@ struct RunningJob {
 /// keeps worst-case scheduling cost linear for the single-machine
 /// policies whose queues grow into the tens of thousands.
 pub const DEFAULT_BACKFILL_DEPTH: usize = 256;
+
+/// Marker for "user not in the ready list".
+const NOT_READY: u32 = u32::MAX;
 
 /// One cluster's scheduling state.
 #[derive(Debug)]
@@ -54,11 +79,29 @@ pub struct Cluster {
     /// provable no-op — the early exit that keeps saturated clusters
     /// O(1) per event instead of O(queue).
     pub min_grain: u32,
-    queue: VecDeque<QueuedJob>,
-    running: HashMap<usize, RunningJob>,
-    /// Running-job count per user id (direct index — the scheduler scan
-    /// touches this for every queued entry, so it must be a load, not a
-    /// hash).
+    /// Release-list entries examined by backfill reservations (the
+    /// `earliest_fit` sort work) — a deterministic work counter the
+    /// perf gate trends.
+    pub release_work: u64,
+    /// Per-user FIFO sub-queues, indexed by user id.
+    queues: Vec<VecDeque<Entry>>,
+    /// Total queued jobs across all sub-queues.
+    queue_len: usize,
+    /// Monotone submission stamp.
+    next_seq: u64,
+    /// Users with ≥1 queued job and no running job here — the only users
+    /// whose jobs a scheduling pass can start.
+    ready: Vec<u32>,
+    /// Position of each user in `ready` (`NOT_READY` when absent).
+    ready_pos: Vec<u32>,
+    /// Running jobs in deterministic (insertion, swap-remove) order —
+    /// iterated by backfill reservations, so its order must be a pure
+    /// function of the event sequence, not of a hash seed.
+    running: Vec<RunningJob>,
+    /// Job index → slot in `running`.
+    running_slot: HashMap<usize, usize>,
+    /// Running-job count per user id (direct index — the scheduler
+    /// touches this for every submit, so it must be a load, not a hash).
     users_running: Vec<u32>,
     /// Sum of queued core-seconds (wait estimator state).
     queued_core_seconds: f64,
@@ -67,6 +110,12 @@ pub struct Cluster {
     running_ends_cores: f64,
     /// Σ cores over running jobs.
     running_cores: f64,
+    /// Scratch: the pass-local merge frontier over ready users'
+    /// sub-queues, keyed by submission sequence (kept as a field so a
+    /// reused cluster allocates it once).
+    merge: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Scratch: per-user cursor into their sub-queue during a pass.
+    cursors: Vec<u32>,
 }
 
 impl Cluster {
@@ -78,19 +127,89 @@ impl Cluster {
             max_job_cores,
             backfill_depth: DEFAULT_BACKFILL_DEPTH,
             min_grain: 1,
-            queue: VecDeque::new(),
-            running: HashMap::new(),
+            release_work: 0,
+            queues: Vec::new(),
+            queue_len: 0,
+            next_seq: 0,
+            ready: Vec::new(),
+            ready_pos: Vec::new(),
+            running: Vec::new(),
+            running_slot: HashMap::new(),
             users_running: Vec::new(),
             queued_core_seconds: 0.0,
             running_ends_cores: 0.0,
             running_cores: 0.0,
+            merge: BinaryHeap::new(),
+            cursors: Vec::new(),
         }
+    }
+
+    /// Re-points this cluster at a fresh configuration while keeping
+    /// every allocation (sub-queues, ready index, running table, merge
+    /// scratch) — the arena hook for sweep workers that simulate
+    /// thousands of cells.
+    pub fn reset(&mut self, total_cores: u64, max_job_cores: u32) {
+        self.total_cores = total_cores;
+        self.free_cores = total_cores;
+        self.max_job_cores = max_job_cores;
+        self.backfill_depth = DEFAULT_BACKFILL_DEPTH;
+        self.min_grain = 1;
+        self.release_work = 0;
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.queue_len = 0;
+        self.next_seq = 0;
+        self.ready.clear();
+        for p in &mut self.ready_pos {
+            *p = NOT_READY;
+        }
+        self.running.clear();
+        self.running_slot.clear();
+        for n in &mut self.users_running {
+            *n = 0;
+        }
+        self.queued_core_seconds = 0.0;
+        self.running_ends_cores = 0.0;
+        self.running_cores = 0.0;
+        self.merge.clear();
     }
 
     fn user_busy(&self, user: UserId) -> bool {
         self.users_running
             .get(user.0 as usize)
             .is_some_and(|n| *n > 0)
+    }
+
+    /// Grows the per-user tables to cover `user`.
+    fn ensure_user(&mut self, user: usize) {
+        if user >= self.queues.len() {
+            self.queues.resize_with(user + 1, VecDeque::new);
+            self.ready_pos.resize(user + 1, NOT_READY);
+            self.users_running.resize(user + 1, 0);
+            self.cursors.resize(user + 1, 0);
+        }
+    }
+
+    fn add_ready(&mut self, user: usize) {
+        if self.ready_pos[user] == NOT_READY {
+            self.ready_pos[user] = self.ready.len() as u32;
+            self.ready.push(user as u32);
+        }
+    }
+
+    fn remove_ready(&mut self, user: usize) {
+        let pos = self.ready_pos[user];
+        if pos == NOT_READY {
+            return;
+        }
+        self.ready_pos[user] = NOT_READY;
+        let last = self.ready.len() - 1;
+        self.ready.swap_remove(pos as usize);
+        if (pos as usize) < last {
+            let moved = self.ready[pos as usize] as usize;
+            self.ready_pos[moved] = pos;
+        }
     }
 
     /// True when `cores` fits the cluster at all.
@@ -100,7 +219,7 @@ impl Cluster {
 
     /// Number of queued jobs.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.queue_len
     }
 
     /// Number of running jobs.
@@ -117,7 +236,7 @@ impl Cluster {
     /// `ends ≥ now`, so the per-job clamp the naive sum applied is
     /// vacuous; the whole-sum clamp below only guards rounding drift).
     pub fn estimated_wait(&self, cores: u32, user: UserId, now: TimePoint) -> TimeSpan {
-        if !self.user_busy(user) && self.queue.is_empty() && cores as u64 <= self.free_cores {
+        if !self.user_busy(user) && self.queue_len == 0 && cores as u64 <= self.free_cores {
             return TimeSpan::ZERO;
         }
         let running_remaining = self.running_ends_cores - now.as_secs() * self.running_cores;
@@ -128,65 +247,83 @@ impl Cluster {
     /// Enqueues a job.
     pub fn submit(&mut self, job: QueuedJob) {
         self.queued_core_seconds += job.runtime.as_secs() * job.cores as f64;
-        self.queue.push_back(job);
+        let user = job.user.0 as usize;
+        self.ensure_user(user);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queues[user].push_back(Entry { seq, job });
+        self.queue_len += 1;
+        if self.users_running[user] == 0 {
+            self.add_ready(user);
+        }
     }
 
     /// Marks a job finished and frees its cores.
     pub fn finish(&mut self, job: usize) {
-        let r = self
-            .running
+        let slot = self
+            .running_slot
             .remove(&job)
             .expect("finish event for a job not running here");
+        let r = self.running.swap_remove(slot);
+        if slot < self.running.len() {
+            self.running_slot.insert(self.running[slot].job, slot);
+        }
         self.free_cores += r.cores as u64;
         self.running_ends_cores -= r.ends.as_secs() * r.cores as f64;
         self.running_cores -= r.cores as f64;
-        if let Some(n) = self.users_running.get_mut(r.user.0 as usize) {
+        let user = r.user.0 as usize;
+        if let Some(n) = self.users_running.get_mut(user) {
             *n = n.saturating_sub(1);
+            if *n == 0 && !self.queues[user].is_empty() {
+                self.add_ready(user);
+            }
         }
     }
 
-    /// Runs one scheduling pass at time `now`; returns the jobs started.
+    /// Runs one scheduling pass at time `now`; started jobs are appended
+    /// to `started` (an arena buffer the caller reuses across passes).
     ///
-    /// Policy: scan from the head. Jobs blocked only by the user
-    /// constraint are skipped (they delay nobody but their owner). The
-    /// first capacity-blocked job becomes the *reserved head*: its
-    /// earliest start is computed from running-job end times, and later
-    /// queue entries may backfill only if they cannot delay that start.
-    pub fn schedule(&mut self, now: TimePoint) -> Vec<QueuedJob> {
-        // A start needs at least one allocation slice free; below that
-        // the whole pass provably mutates nothing (reservations are
-        // pass-local), so skip the scan outright.
+    /// Policy: visit queued jobs of *ready* users in submission order —
+    /// exactly the jobs the flat scan visited, since jobs of busy users
+    /// are skipped unconditionally and a user never becomes un-busy
+    /// mid-pass. The first capacity-blocked job becomes the *reserved
+    /// head*: its earliest start is computed from running-job end times,
+    /// and later entries may backfill only if they cannot delay that
+    /// start.
+    pub fn schedule_into(&mut self, now: TimePoint, started: &mut Vec<QueuedJob>) {
+        // A start needs at least one allocation slice free (below that
+        // the whole pass provably mutates nothing, as reservations are
+        // pass-local) and at least one ready user — both O(1) exits that
+        // keep saturated and fully-user-blocked clusters cheap.
         let grain = self.min_grain.max(1) as u64;
-        if self.queue.is_empty() || self.free_cores < grain {
-            return Vec::new();
+        if self.queue_len == 0 || self.free_cores < grain || self.ready.is_empty() {
+            return;
         }
-        let mut started = Vec::new();
-        // Queue positions of the jobs started this pass (ascending);
-        // compacted out in one sweep after the scan instead of an O(n)
-        // `remove` per start.
-        let mut started_at: Vec<usize> = Vec::new();
+        // Seed the merge frontier with every ready user's front entry.
+        self.merge.clear();
+        for &user in &self.ready {
+            let front = self.queues[user as usize]
+                .front()
+                .expect("ready users have queued jobs");
+            self.cursors[user as usize] = 0;
+            self.merge.push(Reverse((front.seq, user)));
+        }
         let mut reservation: Option<(TimePoint, u64)> = None; // (head start, cores free then)
         let mut scanned_past_head = 0usize;
-        let mut idx = 0;
-        while idx < self.queue.len() {
-            let job = self.queue[idx];
-            if self.user_busy(job.user) {
-                idx += 1;
-                continue;
-            }
+        while let Some(Reverse((_, user))) = self.merge.pop() {
+            let user = user as usize;
+            let cursor = self.cursors[user] as usize;
+            let job = self.queues[user][cursor].job;
             let fits_now = job.cores as u64 <= self.free_cores;
+            let mut start_job = false;
             match (&mut reservation, fits_now) {
                 (None, true) => {
                     // FCFS start.
-                    self.start(job, now);
-                    started_at.push(idx);
-                    started.push(job);
-                    idx += 1;
+                    start_job = true;
                 }
                 (None, false) => {
                     // This job reserves the machine.
                     reservation = Some(self.earliest_fit(job.cores, now));
-                    idx += 1;
                 }
                 (Some((head_start, free_at_head)), true) => {
                     scanned_past_head += 1;
@@ -202,18 +339,33 @@ impl Cluster {
                         if !ends_before_head {
                             *free_at_head -= job.cores as u64;
                         }
-                        self.start(job, now);
-                        started_at.push(idx);
-                        started.push(job);
+                        start_job = true;
                     }
-                    idx += 1;
                 }
                 (Some(_), false) => {
                     scanned_past_head += 1;
                     if scanned_past_head > self.backfill_depth {
                         break;
                     }
-                    idx += 1;
+                }
+            }
+            if start_job {
+                self.start(job, now);
+                started.push(job);
+                // The started entry leaves the queue; its user is busy
+                // now, so their remaining entries drop out of the pass
+                // (no re-push) and out of the ready set.
+                self.queues[user].remove(cursor);
+                self.queue_len -= 1;
+                self.remove_ready(user);
+            } else {
+                // Skipped or reserved: advance this user's cursor and
+                // keep merging their next entry, if any.
+                let next = cursor + 1;
+                if next < self.queues[user].len() {
+                    self.cursors[user] = next as u32;
+                    self.merge
+                        .push(Reverse((self.queues[user][next].seq, user as u32)));
                 }
             }
             // Once the free pool drops below one slice nothing else can
@@ -222,18 +374,14 @@ impl Cluster {
                 break;
             }
         }
-        if !started_at.is_empty() {
-            let mut keep = 0;
-            let mut next = 0;
-            self.queue.retain(|_| {
-                let starts = next < started_at.len() && started_at[next] == keep;
-                if starts {
-                    next += 1;
-                }
-                keep += 1;
-                !starts
-            });
-        }
+    }
+
+    /// [`schedule_into`](Cluster::schedule_into) allocating a fresh
+    /// result vector — the convenience form tests and one-shot callers
+    /// use.
+    pub fn schedule(&mut self, now: TimePoint) -> Vec<QueuedJob> {
+        let mut started = Vec::new();
+        self.schedule_into(now, &mut started);
         started
     }
 
@@ -245,39 +393,45 @@ impl Cluster {
             self.queued_core_seconds = 0.0;
         }
         let slot = job.user.0 as usize;
-        if slot >= self.users_running.len() {
-            self.users_running.resize(slot + 1, 0);
-        }
         self.users_running[slot] += 1;
         let ends = now + job.runtime;
         self.running_ends_cores += ends.as_secs() * job.cores as f64;
         self.running_cores += job.cores as f64;
-        self.running.insert(
-            job.job,
-            RunningJob {
-                user: job.user,
-                cores: job.cores,
-                ends,
-            },
-        );
+        self.running_slot.insert(job.job, self.running.len());
+        self.running.push(RunningJob {
+            job: job.job,
+            user: job.user,
+            cores: job.cores,
+            ends,
+        });
     }
 
     /// Earliest time `cores` become free, and how many cores will be free
     /// then (after the release), based on running-job end times. The
     /// "head still fits" budget excludes the head's own cores: backfill
     /// jobs may consume only the surplus above the head's requirement.
-    fn earliest_fit(&self, cores: u32, now: TimePoint) -> (TimePoint, u64) {
-        let mut releases: Vec<(TimePoint, u32)> =
-            self.running.values().map(|r| (r.ends, r.cores)).collect();
-        releases.sort_by(|a, b| a.0.as_secs().total_cmp(&b.0.as_secs()));
+    fn earliest_fit(&mut self, cores: u32, now: TimePoint) -> (TimePoint, u64) {
+        self.release_work += self.running.len() as u64;
+        // Unstable sort on a precomputed key (one `as_secs` per entry
+        // instead of two per comparison); the slot index breaks end-time
+        // ties, so the walk order is stable-sort-equivalent over the
+        // deterministic insertion order of `running` — a pure function
+        // of the event sequence.
+        let mut releases: Vec<(f64, u32, u32)> = self
+            .running
+            .iter()
+            .enumerate()
+            .map(|(slot, r)| (r.ends.as_secs(), slot as u32, r.cores))
+            .collect();
+        releases.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         let mut free = self.free_cores;
         let mut when = now;
-        for (t, c) in releases {
+        for (t, _, c) in releases {
             if free >= cores as u64 {
                 break;
             }
             free += c as u64;
-            when = t;
+            when = TimePoint::from_secs(t);
         }
         // Surplus after the head starts at `when`.
         (when, free.saturating_sub(cores as u64))
@@ -387,5 +541,64 @@ mod tests {
         let c = Cluster::new(16, 16);
         assert!(c.eligible(16));
         assert!(!c.eligible(17));
+    }
+
+    #[test]
+    fn same_user_backfills_behind_own_blocked_head() {
+        // User 5's big front job reserves the machine; their *own* later
+        // small job may still backfill (the user constraint tracks
+        // running jobs only) — the case that forces mid-queue removal
+        // from a per-user sub-queue.
+        let mut c = Cluster::new(100, 100);
+        c.submit(qj(0, 0, 60, 1000.0, 0.0));
+        c.schedule(TimePoint::EPOCH);
+        c.submit(qj(1, 5, 80, 500.0, 1.0)); // blocked head (needs 80 > 40 free)
+        c.submit(qj(2, 5, 10, 100.0, 2.0)); // same user, ends before t=1000
+        let started = c.schedule(TimePoint::from_secs(3.0));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, 2);
+        // The blocked head stays queued; user 5 is busy now, so nothing
+        // else of theirs starts until job 2 finishes.
+        assert_eq!(c.queue_len(), 1);
+        assert!(c.schedule(TimePoint::from_secs(4.0)).is_empty());
+        c.finish(2);
+        c.finish(0);
+        let started = c.schedule(TimePoint::from_secs(1000.0));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, 1);
+    }
+
+    #[test]
+    fn reset_clears_state_and_restarts_fifo_order() {
+        let mut c = Cluster::new(100, 100);
+        c.submit(qj(0, 0, 40, 100.0, 0.0));
+        c.submit(qj(1, 1, 40, 100.0, 0.0));
+        c.schedule(TimePoint::EPOCH);
+        c.reset(50, 50);
+        assert_eq!(c.total_cores, 50);
+        assert_eq!(c.free_cores, 50);
+        assert_eq!(c.queue_len(), 0);
+        assert_eq!(c.running_len(), 0);
+        assert_eq!(c.release_work, 0);
+        assert_eq!(
+            c.estimated_wait(10, UserId(0), TimePoint::EPOCH),
+            TimeSpan::ZERO
+        );
+        c.submit(qj(10, 2, 30, 10.0, 0.0));
+        c.submit(qj(11, 3, 30, 10.0, 0.0));
+        let started = c.schedule(TimePoint::EPOCH);
+        assert_eq!(started.len(), 1, "only 50 cores now: 30 + 30 > 50");
+        assert_eq!(started[0].job, 10, "submission order restarted");
+    }
+
+    #[test]
+    fn release_work_counts_reservation_scans() {
+        let mut c = Cluster::new(100, 100);
+        c.submit(qj(0, 0, 60, 1000.0, 0.0));
+        c.schedule(TimePoint::EPOCH);
+        assert_eq!(c.release_work, 0, "unblocked starts scan nothing");
+        c.submit(qj(1, 1, 80, 500.0, 1.0));
+        c.schedule(TimePoint::from_secs(1.0));
+        assert_eq!(c.release_work, 1, "one running job examined");
     }
 }

@@ -1,4 +1,16 @@
 //! The simulator's event queue.
+//!
+//! [`EventQueue`] is a bucketed calendar queue tuned for the simulator's
+//! near-monotone schedule pattern (events are pushed at or after the
+//! current simulation time, spread over a multi-month horizon). Events
+//! land in fixed-width time buckets in O(1); only the bucket currently
+//! being drained lives in a small binary heap, so each event pays one
+//! cheap `Vec` push plus heap traffic proportional to a *bucket's*
+//! population instead of the whole pending set. Pop order is pinned
+//! bit-for-bit to a plain `BinaryHeap` over `(time, seq)` — equal
+//! timestamps break ties by insertion order — which
+//! `tests/event_queue_props.rs` asserts over random and adversarial
+//! streams.
 
 use green_units::TimePoint;
 use std::cmp::Ordering;
@@ -50,10 +62,54 @@ impl PartialOrd for Event {
     }
 }
 
-/// Earliest-first event queue.
+/// Seconds per calendar bucket, as a power of two (2^10 = ~17 minutes).
+/// Small enough that the front heap stays in the hundreds of events on
+/// the paper workload, large enough that a 60-day trace needs only a few
+/// thousand buckets.
+const BUCKET_SHIFT: u32 = 10;
+
+/// Horizon cap: events more than this many buckets past the drain cursor
+/// are parked in the far-future tail instead of growing the bucket array
+/// without bound (2^20 buckets ≈ 34 simulated years).
+const MAX_SPAN_BUCKETS: usize = 1 << 20;
+
+/// The bucket a (finite) timestamp falls into. Negative times clamp to
+/// bucket zero; the `merged_through` push rule routes them to the front
+/// heap, which orders arbitrary times correctly.
+fn bucket_of(secs: f64) -> usize {
+    if secs <= 0.0 {
+        return 0;
+    }
+    (secs as u64 >> BUCKET_SHIFT) as usize
+}
+
+/// Earliest-first event queue: a calendar of fixed-width buckets with a
+/// sorted (heap) front.
+///
+/// Invariant: every event in `buckets[i]` for `i >= merged_through` has a
+/// finite timestamp inside bucket `i`; everything earlier lives in
+/// `front`, and NaN/+inf events live only in `tail` (never `front` — a
+/// parked non-finite front minimum would outrank later finite pushes).
+/// The front's minimum is therefore the global minimum, because any
+/// bucketed event's time is at least `merged_through << BUCKET_SHIFT`,
+/// an upper bound on every front timestamp.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// The drain head: all events at or before the merge cursor.
+    front: BinaryHeap<Event>,
+    /// Calendar buckets: `buckets[i]` holds absolute bucket `base + i`,
+    /// so a rebase to far-future times never allocates proportional to
+    /// absolute time.
+    buckets: Vec<Vec<Event>>,
+    /// Absolute bucket number of `buckets[0]`.
+    base: usize,
+    /// All buckets below this absolute index have been drained into
+    /// `front`. Invariant: `base <= merged_through`.
+    merged_through: usize,
+    /// Events beyond the horizon cap or with non-finite future times;
+    /// re-bucketed when the calendar runs dry.
+    tail: Vec<Event>,
+    len: usize,
     next_seq: u64,
 }
 
@@ -67,22 +123,126 @@ impl EventQueue {
     pub fn push(&mut self, at: TimePoint, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        self.push_event(Event { at, seq, kind });
+    }
+
+    fn push_event(&mut self, event: Event) {
+        self.len += 1;
+        let secs = event.at.as_secs();
+        if !secs.is_finite() {
+            // NaN/+inf sort after every finite time under `total_cmp`
+            // (the reference heap pops them last); -inf sorts before
+            // everything and is safe in the front.
+            if secs == f64::NEG_INFINITY {
+                self.front.push(event);
+            } else {
+                self.tail.push(event);
+            }
+            return;
+        }
+        let bucket = bucket_of(secs);
+        if bucket < self.merged_through {
+            self.front.push(event);
+        } else if bucket - self.base >= MAX_SPAN_BUCKETS {
+            self.tail.push(event);
+        } else {
+            let rel = bucket - self.base;
+            if rel >= self.buckets.len() {
+                self.buckets.resize_with(rel + 1, Vec::new);
+            }
+            self.buckets[rel].push(event);
+        }
     }
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        loop {
+            if let Some(event) = self.front.pop() {
+                self.len -= 1;
+                return Some(event);
+            }
+            // Advance the merge cursor to the next populated bucket and
+            // drain it into the front. The cursor only moves forward, so
+            // the total scan over a queue's lifetime is O(buckets).
+            while self.merged_through - self.base < self.buckets.len() {
+                let rel = self.merged_through - self.base;
+                self.merged_through += 1;
+                if !self.buckets[rel].is_empty() {
+                    let drained = std::mem::take(&mut self.buckets[rel]);
+                    self.front.extend(drained);
+                    break;
+                }
+            }
+            if !self.front.is_empty() {
+                continue;
+            }
+            if self.merged_through - self.base >= self.buckets.len() {
+                if self.tail.is_empty() {
+                    return None;
+                }
+                let earliest = self
+                    .tail
+                    .iter()
+                    .filter(|e| e.at.as_secs().is_finite())
+                    .map(|e| bucket_of(e.at.as_secs()))
+                    .min();
+                let Some(earliest) = earliest else {
+                    // Only non-finite (NaN/+inf) stragglers left. They
+                    // must never enter the front heap — a later finite
+                    // push would land in the calendar and lose the race
+                    // against a non-finite front minimum — so pop the
+                    // earliest-ordered one straight out of the tail.
+                    // (`Event`'s Ord is reversed for the max-heap, so
+                    // "earliest first" is the Ord maximum.)
+                    let (idx, _) = self
+                        .tail
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| a.cmp(b))
+                        .expect("tail checked non-empty");
+                    let event = self.tail.swap_remove(idx);
+                    self.len -= 1;
+                    return Some(event);
+                };
+                // Calendar exhausted but far-future events remain: rebase
+                // the horizon at their earliest bucket and re-push. At
+                // least one lands in the new window, so this terminates.
+                let rebased = std::mem::take(&mut self.tail);
+                self.len -= rebased.len();
+                self.buckets.clear();
+                self.base = earliest;
+                self.merged_through = earliest;
+                for event in rebased {
+                    self.push_event(event);
+                }
+            }
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Resets the queue for a fresh run while keeping every allocation
+    /// (bucket array, per-bucket capacity, front heap) — the arena hook.
+    /// Sequence numbers restart at zero so a reused queue is
+    /// indistinguishable from a new one.
+    pub fn reset(&mut self) {
+        self.front.clear();
+        self.tail.clear();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.base = 0;
+        self.merged_through = 0;
+        self.len = 0;
+        self.next_seq = 0;
     }
 }
 
@@ -126,5 +286,102 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_across_buckets() {
+        let mut q = EventQueue::new();
+        // Far-apart times exercise the bucket advance; pushes into
+        // already-drained buckets exercise the front fallback.
+        q.push(TimePoint::from_secs(100_000.0), EventKind::Arrival(0));
+        q.push(TimePoint::from_secs(10.0), EventKind::Arrival(1));
+        assert_eq!(q.pop().unwrap().at.as_secs(), 10.0);
+        // Bucket 0 is drained now; a push below the cursor goes front.
+        q.push(TimePoint::from_secs(20.0), EventKind::Arrival(2));
+        assert_eq!(q.pop().unwrap().at.as_secs(), 20.0);
+        assert_eq!(q.pop().unwrap().at.as_secs(), 100_000.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn far_future_tail_is_rebased() {
+        let mut q = EventQueue::new();
+        let far = (MAX_SPAN_BUCKETS as f64 + 5.0) * (1u64 << BUCKET_SHIFT) as f64;
+        q.push(TimePoint::from_secs(far), EventKind::Arrival(0));
+        q.push(TimePoint::from_secs(far + 1.0), EventKind::Arrival(1));
+        q.push(TimePoint::from_secs(1.0), EventKind::Arrival(2));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn reset_reuses_allocations_and_restarts_sequences() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(
+                TimePoint::from_secs(i as f64 * 500.0),
+                EventKind::Arrival(i),
+            );
+        }
+        for _ in 0..60 {
+            q.pop();
+        }
+        q.reset();
+        assert!(q.is_empty());
+        // After reset, same-time ties again break in insertion order
+        // (sequence numbers restarted).
+        let t = TimePoint::from_secs(7.0);
+        q.push(t, EventKind::Arrival(1));
+        q.push(t, EventKind::Arrival(2));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Arrival(1)));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Arrival(2)));
+    }
+
+    #[test]
+    fn finite_pushes_after_draining_beat_parked_non_finite_events() {
+        // Regression: non-finite events must never enter the front heap.
+        // Drain to the point where only +inf/NaN events remain, pop one,
+        // then push a *finite* event — the finite one must pop before
+        // the remaining non-finite event, exactly as the reference heap
+        // orders them.
+        let mut q = EventQueue::new();
+        q.push(TimePoint::from_secs(f64::INFINITY), EventKind::Arrival(0));
+        q.push(TimePoint::from_secs(f64::INFINITY), EventKind::Arrival(1));
+        q.push(TimePoint::from_secs(5.0), EventKind::Arrival(2));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Arrival(2)));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Arrival(0)));
+        q.push(TimePoint::from_secs(7.0), EventKind::Arrival(3));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Arrival(3)));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Arrival(1)));
+        assert!(q.pop().is_none());
+        // NaN sorts after +inf under `total_cmp`; equal classes keep
+        // insertion order.
+        q.push(TimePoint::from_secs(f64::NAN), EventKind::Arrival(10));
+        q.push(TimePoint::from_secs(f64::INFINITY), EventKind::Arrival(11));
+        q.push(TimePoint::from_secs(f64::INFINITY), EventKind::Arrival(12));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![11, 12, 10]);
+    }
+
+    #[test]
+    fn negative_times_pop_first() {
+        let mut q = EventQueue::new();
+        q.push(TimePoint::from_secs(3.0), EventKind::Arrival(0));
+        q.push(TimePoint::from_secs(-2.0), EventKind::Arrival(1));
+        q.push(TimePoint::from_secs(0.0), EventKind::Arrival(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_secs())
+            .collect();
+        assert_eq!(order, vec![-2.0, 0.0, 3.0]);
     }
 }

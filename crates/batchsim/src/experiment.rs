@@ -216,6 +216,19 @@ pub fn run_cell(
     crate::simulator::Simulator::new(trace, fleet, table, intensity, config).run()
 }
 
+/// [`run_cell`] against a reusable [`crate::SimArena`] — the sweep-worker
+/// form that amortizes all simulation allocations across cells.
+pub fn run_cell_in(
+    trace: &Trace,
+    fleet: &[FleetMachine],
+    table: &PlacementTable,
+    intensity: &[HourlyTrace],
+    config: crate::simulator::SimConfig,
+    arena: &mut crate::SimArena,
+) -> RunMetrics {
+    crate::simulator::Simulator::new(trace, fleet, table, intensity, config).run_in(arena)
+}
+
 /// All policy runs of one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResults {

@@ -20,6 +20,7 @@
 //! (EBA, CBA, low-carbon CBA) and computes the fixed-allocation work
 //! comparisons.
 
+pub mod arena;
 pub mod cluster;
 pub mod event;
 pub mod experiment;
@@ -29,7 +30,8 @@ pub mod policy;
 pub mod profile;
 pub mod simulator;
 
-pub use experiment::{intensity_for, run_cell, Scenario, ScenarioResults};
+pub use arena::SimArena;
+pub use experiment::{intensity_for, run_cell, run_cell_in, Scenario, ScenarioResults};
 pub use market::{MarketAgent, MarketInputs, PriceTable};
 pub use metrics::{JobOutcome, RunMetrics};
 pub use policy::Policy;

@@ -65,6 +65,10 @@ pub struct RunMetrics {
     /// shift re-submissions, plus finishes) — the deterministic work
     /// counter the perf suite trends instead of noisy wall time.
     pub events: usize,
+    /// Release-list entries examined by backfill reservations, summed
+    /// over all clusters — the scheduler's other deterministic work
+    /// counter, so the bench gate sees reservation-scan regressions.
+    pub release_work: u64,
 }
 
 impl RunMetrics {
@@ -188,6 +192,7 @@ mod tests {
                 .collect(),
             rejected: 0,
             events: 20,
+            release_work: 0,
         }
     }
 

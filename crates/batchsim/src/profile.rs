@@ -11,15 +11,29 @@ use green_machines::FleetMachine;
 use green_perfmodel::{CrossMachinePredictor, MachinePrediction};
 use green_units::{Energy, Power, TimeSpan};
 use green_workload::{Job, Trace};
+use std::sync::Arc;
 
-/// Per-archetype, per-machine predictions.
-#[derive(Debug, Clone)]
-pub struct PlacementTable {
+/// The immutable per-(archetype, machine) score matrix one `build`
+/// produces — shared by every projection of the table, so projecting is
+/// O(machines) bookkeeping instead of an O(archetypes × machines) copy.
+#[derive(Debug)]
+struct ScoreMatrix {
     machines: usize,
     /// `predictions[archetype * machines + machine]`.
     predictions: Vec<MachinePrediction>,
     /// Cross-machine mean runtime ratio per archetype (the "work" weight).
     mean_ratio: Vec<f64>,
+}
+
+/// Per-archetype, per-machine predictions: a view over a shared score
+/// matrix through a machine-column map.
+#[derive(Debug, Clone)]
+pub struct PlacementTable {
+    matrix: Arc<ScoreMatrix>,
+    /// View machine index → matrix machine column. The identity for a
+    /// freshly built table; a subset (in sub-fleet order) after
+    /// [`project`](PlacementTable::project).
+    cols: Vec<usize>,
 }
 
 impl PlacementTable {
@@ -45,45 +59,42 @@ impl PlacementTable {
             predictions.extend(preds);
         }
         PlacementTable {
-            machines,
-            predictions,
-            mean_ratio,
+            matrix: Arc::new(ScoreMatrix {
+                machines,
+                predictions,
+                mean_ratio,
+            }),
+            cols: (0..machines).collect(),
         }
     }
 
     /// Number of machines covered.
     pub fn machine_count(&self) -> usize {
-        self.machines
+        self.cols.len()
     }
 
     /// Projects the table onto a fleet subset (`machines` are indices into
-    /// the original fleet, in the order the sub-fleet will use).
+    /// this table's fleet, in the order the sub-fleet will use) — an
+    /// O(machines) column-map composition sharing the underlying score
+    /// matrix, never a rebuild. Projecting a projection composes.
     ///
     /// The machine-neutral work weight (`mean_ratio`) is deliberately kept
     /// from the *full* fleet, so "work completed" stays comparable across
     /// sweep cells that simulate different fleet subsets.
     pub fn project(&self, machines: &[usize]) -> PlacementTable {
         assert!(
-            machines.iter().all(|m| *m < self.machines),
+            machines.iter().all(|m| *m < self.cols.len()),
             "projection index out of range"
         );
-        let archetypes = self.predictions.len() / self.machines;
-        let mut predictions = Vec::with_capacity(archetypes * machines.len());
-        for a in 0..archetypes {
-            for &m in machines {
-                predictions.push(self.predictions[a * self.machines + m]);
-            }
-        }
         PlacementTable {
-            machines: machines.len(),
-            predictions,
-            mean_ratio: self.mean_ratio.clone(),
+            matrix: Arc::clone(&self.matrix),
+            cols: machines.iter().map(|&m| self.cols[m]).collect(),
         }
     }
 
     /// The raw prediction for an archetype on a machine.
     pub fn prediction(&self, archetype: u32, machine: usize) -> &MachinePrediction {
-        &self.predictions[archetype as usize * self.machines + machine]
+        &self.matrix.predictions[archetype as usize * self.matrix.machines + self.cols[machine]]
     }
 
     /// Predicted wall-clock runtime of `job` on `machine`.
@@ -105,7 +116,9 @@ impl PlacementTable {
     /// The paper's machine-neutral work measure: the job's core-hours
     /// averaged across all machines.
     pub fn work_core_hours(&self, job: &Job) -> f64 {
-        job.cores as f64 * job.ref_runtime.as_hours() * self.mean_ratio[job.archetype as usize]
+        job.cores as f64
+            * job.ref_runtime.as_hours()
+            * self.matrix.mean_ratio[job.archetype as usize]
     }
 }
 
@@ -181,6 +194,48 @@ mod tests {
             );
             // Work stays full-fleet-neutral.
             assert_eq!(sub.work_core_hours(job), table.work_core_hours(job));
+        }
+    }
+
+    /// Pins the O(machines) shared-matrix projection to the from-scratch
+    /// copy the old implementation performed: for every archetype and
+    /// every sub-fleet position, the view must resolve to exactly the
+    /// prediction the naive rebuild would have copied — including
+    /// through a projection *of a projection*.
+    #[test]
+    fn projection_is_equivalent_to_naive_rebuild() {
+        let (trace, fleet, predictor) = setup();
+        let table = PlacementTable::build(&trace, &fleet, &predictor);
+        let subsets: [&[usize]; 4] = [&[0, 1, 2, 3], &[3, 1], &[2], &[1, 1, 0]];
+        for subset in subsets {
+            let view = table.project(subset);
+            assert_eq!(view.machine_count(), subset.len());
+            for a in 0..trace.archetypes.len() as u32 {
+                for (pos, &m) in subset.iter().enumerate() {
+                    // The naive rebuild copied predictions[a * machines + m]
+                    // into slot (a, pos).
+                    let naive = table.prediction(a, m);
+                    let viewed = view.prediction(a, pos);
+                    assert_eq!(naive.runtime_ratio, viewed.runtime_ratio);
+                    assert_eq!(
+                        naive.power_per_core.as_watts(),
+                        viewed.power_per_core.as_watts()
+                    );
+                }
+            }
+        }
+        // Composition: projecting a projection equals projecting the
+        // composed index map directly.
+        let once = table.project(&[3, 1, 0]);
+        let twice = once.project(&[2, 0]);
+        let direct = table.project(&[0, 3]);
+        for a in 0..trace.archetypes.len() as u32 {
+            for m in 0..2 {
+                assert_eq!(
+                    twice.prediction(a, m).runtime_ratio,
+                    direct.prediction(a, m).runtime_ratio
+                );
+            }
         }
     }
 

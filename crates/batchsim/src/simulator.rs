@@ -6,8 +6,9 @@ use green_machines::FleetMachine;
 use green_units::TimePoint;
 use green_workload::Trace;
 
+use crate::arena::SimArena;
 use crate::cluster::{Cluster, QueuedJob};
-use crate::event::{EventKind, EventQueue};
+use crate::event::EventKind;
 use crate::market::MarketInputs;
 use crate::metrics::{JobOutcome, RunMetrics};
 use crate::policy::{MachineOption, Policy};
@@ -183,7 +184,13 @@ impl<'a> Simulator<'a> {
     /// wait − d)` — the queue keeps draining while the agent sits out
     /// the delay, so in a congested system a delay mostly re-times the
     /// start only once it exceeds the backlog.
-    fn adaptive_delay(&self, clusters: &[Cluster], job_idx: usize, now: TimePoint) -> Option<u32> {
+    fn adaptive_delay(
+        &self,
+        clusters: &[Cluster],
+        job_idx: usize,
+        now: TimePoint,
+        waits: &mut Vec<f64>,
+    ) -> Option<u32> {
         let market = self.config.market.as_ref()?;
         let job = &self.trace.jobs[job_idx];
         let agent = market.agent(job.user.0);
@@ -194,14 +201,13 @@ impl<'a> Simulator<'a> {
         if window == 0 {
             return None;
         }
-        let waits: Vec<f64> = (0..self.fleet.len())
-            .map(|m| {
-                let provisioned = self.provisioned_cores(m, job.cores);
-                clusters[m]
-                    .estimated_wait(provisioned, job.user, now)
-                    .as_secs()
-            })
-            .collect();
+        waits.clear();
+        waits.extend((0..self.fleet.len()).map(|m| {
+            let provisioned = self.provisioned_cores(m, job.cores);
+            clusters[m]
+                .estimated_wait(provisioned, job.user, now)
+                .as_secs()
+        }));
         let quote_at = |delay_s: f64| -> f64 {
             (0..self.fleet.len())
                 .map(|m| {
@@ -246,46 +252,66 @@ impl<'a> Simulator<'a> {
             .with_pue(spec.facility.pue)
     }
 
-    /// Runs the full workload to completion and collects metrics.
+    /// Runs the full workload to completion and collects metrics,
+    /// allocating fresh state — the one-shot convenience form of
+    /// [`run_in`](Simulator::run_in).
     pub fn run(&self) -> RunMetrics {
-        let n_machines = self.fleet.len();
-        let mut clusters: Vec<Cluster> = self
-            .fleet
-            .iter()
-            .map(|m| {
-                let mut cluster = if m.per_user {
-                    // One private node per user; the per-cluster user
-                    // constraint keeps each user inside their own node.
-                    let cores = m.spec.cores as u64 * self.config.users as u64;
-                    Cluster::new(cores, m.spec.cores)
-                } else {
-                    let cores = m.spec.cores as u64 * m.nodes as u64;
-                    Cluster::new(
-                        cores,
-                        (m.spec.cores as u64 * m.nodes as u64).min(u32::MAX as u64) as u32,
-                    )
-                };
-                cluster.backfill_depth = self.config.backfill_depth;
-                // Provisioning rounds every request up to the slice, so
-                // the slice is the smallest start the scheduler must
-                // consider (drives its saturated-cluster early exit).
-                cluster.min_grain = m.spec.slice_cores;
-                cluster
-            })
-            .collect();
+        self.run_in(&mut SimArena::new())
+    }
 
-        let mut events = EventQueue::new();
+    /// Runs the full workload to completion against `arena`-owned state.
+    /// All simulation buffers (cluster queues, event calendar, job
+    /// tables, outcome storage) are borrowed from the arena, so a caller
+    /// sweeping many cells allocates once, not once per cell. Results
+    /// are bit-for-bit identical to a fresh-state [`run`](Simulator::run).
+    pub fn run_in(&self, arena: &mut SimArena) -> RunMetrics {
+        let n_machines = self.fleet.len();
+        // Grow-only: after a larger fleet, a smaller one parks the tail
+        // clusters (allocations intact) instead of dropping them, so
+        // fleet-subset sweeps that alternate sizes keep every buffer.
+        if arena.clusters.len() < n_machines {
+            arena
+                .clusters
+                .resize_with(n_machines, || Cluster::new(0, 0));
+        }
+        let clusters = &mut arena.clusters[..n_machines];
+        for (cluster, m) in clusters.iter_mut().zip(self.fleet) {
+            if m.per_user {
+                // One private node per user; the per-cluster user
+                // constraint keeps each user inside their own node.
+                let cores = m.spec.cores as u64 * self.config.users as u64;
+                cluster.reset(cores, m.spec.cores);
+            } else {
+                let cores = m.spec.cores as u64 * m.nodes as u64;
+                cluster.reset(cores, cores.min(u32::MAX as u64) as u32);
+            }
+            cluster.backfill_depth = self.config.backfill_depth;
+            // Provisioning rounds every request up to the slice, so
+            // the slice is the smallest start the scheduler must
+            // consider (drives its saturated-cluster early exit).
+            cluster.min_grain = m.spec.slice_cores;
+        }
+
+        let events = &mut arena.events;
+        events.reset();
         for (idx, job) in self.trace.jobs.iter().enumerate() {
             events.push(job.arrival, EventKind::Arrival(idx));
         }
 
-        let mut started_at = vec![f64::NAN; self.trace.jobs.len()];
-        let mut machine_of = vec![u32::MAX; self.trace.jobs.len()];
-        let mut outcomes = Vec::with_capacity(self.trace.jobs.len());
+        let jobs = self.trace.jobs.len();
+        arena.started_at.clear();
+        arena.started_at.resize(jobs, f64::NAN);
+        let started_at = &mut arena.started_at;
+        let mut outcomes = std::mem::take(&mut arena.outcomes);
+        outcomes.clear();
+        outcomes.reserve(jobs);
         let mut rejected = 0usize;
         let mut events_processed = 0usize;
         // GreedyShift bookkeeping: a job may be postponed at most once.
-        let mut shifted = vec![false; self.trace.jobs.len()];
+        arena.shifted.clear();
+        arena.shifted.resize(jobs, false);
+        let shifted = &mut arena.shifted;
+        let started = &mut arena.started_buf;
 
         while let Some(event) = events.pop() {
             let now = event.at;
@@ -305,7 +331,7 @@ impl<'a> Simulator<'a> {
                             }
                             Policy::Adaptive => {
                                 shifted[job_idx] = true;
-                                self.adaptive_delay(&clusters, job_idx, now)
+                                self.adaptive_delay(clusters, job_idx, now, &mut arena.waits_buf)
                             }
                             _ => None,
                         };
@@ -318,14 +344,13 @@ impl<'a> Simulator<'a> {
                         }
                     }
                     let job = &self.trace.jobs[job_idx];
-                    let options: Vec<MachineOption> = (0..n_machines)
-                        .map(|m| self.option(&clusters, m, job_idx, now))
-                        .collect();
-                    let Some(machine) = self.config.policy.choose(&options) else {
+                    let options = &mut arena.options_buf;
+                    options.clear();
+                    options.extend((0..n_machines).map(|m| self.option(clusters, m, job_idx, now)));
+                    let Some(machine) = self.config.policy.choose(options) else {
                         rejected += 1;
                         continue;
                     };
-                    machine_of[job_idx] = machine as u32;
                     let provisioned = self.provisioned_cores(machine, job.cores);
                     clusters[machine].submit(QueuedJob {
                         job: job_idx,
@@ -334,23 +359,21 @@ impl<'a> Simulator<'a> {
                         runtime: self.table.runtime(job, machine),
                         submitted: now,
                     });
-                    for started in clusters[machine].schedule(now) {
-                        started_at[started.job] = now.as_secs();
-                        events.push(
-                            now + started.runtime,
-                            EventKind::Finish(machine, started.job),
-                        );
+                    started.clear();
+                    clusters[machine].schedule_into(now, started);
+                    for s in started.iter() {
+                        started_at[s.job] = now.as_secs();
+                        events.push(now + s.runtime, EventKind::Finish(machine, s.job));
                     }
                 }
                 EventKind::Finish(machine, job_idx) => {
                     clusters[machine].finish(job_idx);
                     outcomes.push(self.outcome(job_idx, machine, started_at[job_idx], now));
-                    for started in clusters[machine].schedule(now) {
-                        started_at[started.job] = now.as_secs();
-                        events.push(
-                            now + started.runtime,
-                            EventKind::Finish(machine, started.job),
-                        );
+                    started.clear();
+                    clusters[machine].schedule_into(now, started);
+                    for s in started.iter() {
+                        started_at[s.job] = now.as_secs();
+                        events.push(now + s.runtime, EventKind::Finish(machine, s.job));
                     }
                 }
             }
@@ -367,6 +390,7 @@ impl<'a> Simulator<'a> {
             outcomes,
             rejected,
             events: events_processed,
+            release_work: clusters.iter().map(|c| c.release_work).sum(),
         }
     }
 

@@ -1,0 +1,192 @@
+//! Property tests pinning the calendar [`EventQueue`] to the plain
+//! binary-heap semantics it replaced: any interleaving of pushes and
+//! pops must produce exactly the sequence a max-heap over reversed
+//! `(time, seq)` — i.e. a stable earliest-first sort — would produce,
+//! including FIFO tie-breaks at equal timestamps.
+
+use green_batchsim::event::{Event, EventKind, EventQueue};
+use green_units::TimePoint;
+use proptest::prelude::*;
+use std::collections::BinaryHeap;
+
+/// The reference model: the exact `BinaryHeap<Event>` implementation the
+/// calendar queue replaced (the `Event` ordering is unchanged, so a heap
+/// over it reproduces the old pop order bit for bit).
+#[derive(Default)]
+struct ReferenceQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl ReferenceQueue {
+    fn push(&mut self, at: TimePoint, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+}
+
+/// Drives both queues through the same stream and asserts every pop
+/// agrees. `ops` encodes the interleaving: push times interleaved with
+/// pop markers.
+fn check_stream(ops: &[Option<f64>]) {
+    let mut calendar = EventQueue::new();
+    let mut reference = ReferenceQueue::default();
+    let mut pushed = 0usize;
+    for op in ops {
+        match op {
+            Some(secs) => {
+                let at = TimePoint::from_secs(*secs);
+                calendar.push(at, EventKind::Arrival(pushed));
+                reference.push(at, EventKind::Arrival(pushed));
+                pushed += 1;
+            }
+            None => {
+                let a = calendar.pop();
+                let b = reference.pop();
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        // Bitwise time comparison so NaN streams compare.
+                        assert_eq!(
+                            a.at.as_secs().to_bits(),
+                            b.at.as_secs().to_bits(),
+                            "pop time diverged"
+                        );
+                        assert_eq!(a.seq, b.seq, "tie-break order diverged");
+                        assert_eq!(a.kind, b.kind, "payload diverged");
+                    }
+                    (a, b) => panic!("emptiness diverged: calendar={a:?} reference={b:?}"),
+                }
+            }
+        }
+        assert_eq!(calendar.len(), reference.heap.len());
+        assert_eq!(calendar.is_empty(), reference.heap.is_empty());
+    }
+    // Drain both to the end: full order equivalence.
+    loop {
+        match (calendar.pop(), reference.pop()) {
+            (None, None) => break,
+            (Some(a), Some(b)) => {
+                assert_eq!(
+                    (a.at.as_secs().to_bits(), a.seq),
+                    (b.at.as_secs().to_bits(), b.seq)
+                );
+            }
+            (a, b) => panic!("drain emptiness diverged: calendar={a:?} reference={b:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random interleavings of pushes (times spanning several buckets,
+    /// many exact collisions) and pops match the reference heap.
+    #[test]
+    fn random_interleavings_match_reference(
+        ops in prop::collection::vec(
+            prop_oneof![
+                // Pushes: coarse times so equal timestamps are common.
+                (0u32..64).prop_map(|t| Some(t as f64 * 777.0)),
+                // Bucket-boundary times (multiples of the 1024 s width).
+                (0u32..32).prop_map(|t| Some(t as f64 * 1024.0)),
+                // Non-finite stragglers: parked past everything finite.
+                Just(Some(f64::INFINITY)),
+                Just(Some(f64::NAN)),
+                // Pops.
+                Just(None),
+                Just(None),
+            ],
+            1..200,
+        )
+    ) {
+        check_stream(&ops);
+    }
+
+    /// The simulator's own pattern: a near-monotone schedule (each push
+    /// at or after the last popped time) stays pinned.
+    #[test]
+    fn monotone_schedule_matches_reference(
+        deltas in prop::collection::vec((0.0f64..20_000.0, 0u32..3), 1..150)
+    ) {
+        let mut ops: Vec<Option<f64>> = Vec::new();
+        let mut now = 0.0f64;
+        for (dt, pops) in deltas {
+            ops.push(Some(now + dt));
+            for _ in 0..pops {
+                ops.push(None);
+            }
+            // Track a crude lower bound of simulated time.
+            now += dt / 4.0;
+        }
+        check_stream(&ops);
+    }
+
+    /// Adversarial streams: strictly decreasing times, far-future spikes
+    /// beyond the calendar horizon, negatives, and duplicates at one
+    /// instant.
+    #[test]
+    fn adversarial_streams_match_reference(
+        base in -1_000.0f64..1_000.0,
+        spike in 0u8..3,
+        n in 1usize..60,
+    ) {
+        let mut ops: Vec<Option<f64>> = Vec::new();
+        // Strictly decreasing pushes (time going backwards).
+        for i in 0..n {
+            ops.push(Some(base - i as f64 * 3.33));
+        }
+        ops.push(None);
+        // A far-future spike past the horizon cap, then near-term work.
+        if spike > 0 {
+            ops.push(Some(4.0e12 + spike as f64));
+        }
+        for _ in 0..n / 2 {
+            ops.push(Some(base));
+            ops.push(None);
+        }
+        check_stream(&ops);
+    }
+}
+
+#[test]
+fn equal_timestamp_floods_are_fifo() {
+    // A thousand events at one instant must come back in push order.
+    let mut ops: Vec<Option<f64>> = (0..1_000).map(|_| Some(42.0)).collect();
+    ops.extend(std::iter::repeat_n(None, 1_001));
+    check_stream(&ops);
+}
+
+#[test]
+fn reused_queue_behaves_like_a_fresh_one() {
+    // Run a stream, reset, run another: the second run must match a
+    // fresh reference exactly (sequence counters restart).
+    let mut calendar = EventQueue::new();
+    for i in 0..500 {
+        calendar.push(
+            TimePoint::from_secs((i % 97) as f64 * 511.0),
+            EventKind::Arrival(i),
+        );
+    }
+    while calendar.pop().is_some() {}
+    calendar.reset();
+
+    let mut reference = ReferenceQueue::default();
+    let times = [9.0, 3.0, 3.0, 100_000.0, 3.0, 0.0];
+    for (i, t) in times.iter().enumerate() {
+        calendar.push(TimePoint::from_secs(*t), EventKind::Finish(i, i));
+        reference.push(TimePoint::from_secs(*t), EventKind::Finish(i, i));
+    }
+    loop {
+        match (calendar.pop(), reference.pop()) {
+            (None, None) => break,
+            (Some(a), Some(b)) => assert_eq!((a.at, a.seq, a.kind), (b.at, b.seq, b.kind)),
+            (a, b) => panic!("diverged: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -27,12 +27,39 @@ pub struct PerfBench {
     pub name: String,
     /// Wall-clock time of the measured section, milliseconds.
     pub wall_ms: f64,
+    /// Process peak RSS (high-water mark) sampled when the bench
+    /// finished, in MiB. Best-effort: read from `/proc/self/status` on
+    /// Linux, `None` elsewhere; runners that can reset the high-water
+    /// mark between benches (Linux `/proc/self/clear_refs`) make this
+    /// approximate the bench's *own* peak rather than the process
+    /// lifetime's. Like wall time it is machine-dependent, so the gate
+    /// only warns on drift — but it makes allocation regressions (a
+    /// broken arena, a cache that stopped sharing) visible in the
+    /// committed baseline.
+    pub peak_rss_mb: Option<f64>,
     /// Deterministic work counters (name → count). Run-to-run stable on
     /// identical code; the gate fails when they drift.
     pub counters: Vec<(String, f64)>,
     /// Derived throughput rates (name → per-second value). Reported for
     /// humans; the gate ignores them.
     pub rates: Vec<(String, f64)>,
+}
+
+/// The process's peak resident set size in MiB, read from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or when the field is
+/// unavailable — callers treat the value as advisory either way.
+pub fn peak_rss_mb() -> Option<f64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb / 1024.0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
 }
 
 /// A full perf-suite report.
@@ -43,11 +70,15 @@ pub struct PerfReport {
 }
 
 /// The gate's verdict: hard failures (counters) and advisory warnings
-/// (wall time).
+/// (wall time / peak RSS).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Comparison {
     /// Counter drifts beyond tolerance — fail the build.
     pub failures: Vec<String>,
+    /// The offending metrics as `bench.counter` names, parallel to
+    /// `failures` — so a failing gate can say *which* counter regressed
+    /// instead of exiting with a bare status code.
+    pub failed_counters: Vec<String>,
     /// Wall-time drifts beyond tolerance — report, don't fail.
     pub warnings: Vec<String>,
 }
@@ -71,6 +102,9 @@ impl PerfReport {
         for (i, bench) in self.benches.iter().enumerate() {
             let _ = writeln!(out, "    {}: {{", quote(&bench.name));
             let _ = writeln!(out, "      \"wall_ms\": {},", fmt_num(bench.wall_ms));
+            if let Some(rss) = bench.peak_rss_mb {
+                let _ = writeln!(out, "      \"peak_rss_mb\": {},", fmt_num(rss));
+            }
             let _ = writeln!(out, "      \"counters\": {{{}}},", pairs(&bench.counters));
             let _ = writeln!(out, "      \"rates\": {{{}}}", pairs(&bench.rates));
             out.push_str("    }");
@@ -119,6 +153,10 @@ impl PerfReport {
             report.benches.push(PerfBench {
                 name: name.clone(),
                 wall_ms,
+                peak_rss_mb: body
+                    .iter()
+                    .find(|(k, _)| k == "peak_rss_mb")
+                    .and_then(|(_, v)| v.as_number()),
                 counters: numbers("counters")?,
                 rates: numbers("rates")?,
             });
@@ -142,6 +180,7 @@ impl PerfReport {
                     "bench `{}` missing from the current run",
                     base.name
                 ));
+                cmp.failed_counters.push(base.name.clone());
                 continue;
             };
             for (counter, expected) in &base.counters {
@@ -150,6 +189,7 @@ impl PerfReport {
                         "{}: counter `{counter}` missing from the current run",
                         base.name
                     ));
+                    cmp.failed_counters.push(format!("{}.{counter}", base.name));
                     continue;
                 };
                 let drift = relative_drift(*actual, *expected);
@@ -161,6 +201,7 @@ impl PerfReport {
                         fmt_num(*expected),
                         fmt_num(*actual),
                     ));
+                    cmp.failed_counters.push(format!("{}.{counter}", base.name));
                 }
             }
             let wall_drift = (current.wall_ms - base.wall_ms) / base.wall_ms.max(1e-12);
@@ -173,8 +214,99 @@ impl PerfReport {
                     current.wall_ms,
                 ));
             }
+            // Peak RSS is machine-dependent like wall time: growth beyond
+            // the wall tolerance warns, never fails.
+            if let (Some(base_rss), Some(rss)) = (base.peak_rss_mb, current.peak_rss_mb) {
+                let rss_drift = (rss - base_rss) / base_rss.max(1e-12);
+                if rss_drift > wall_tolerance {
+                    cmp.warnings.push(format!(
+                        "{}: peak RSS {:+.1}% (baseline {:.1} MB, now {:.1} MB) — RSS is warn-only",
+                        base.name,
+                        100.0 * rss_drift,
+                        base_rss,
+                        rss,
+                    ));
+                }
+            }
         }
         cmp
+    }
+
+    /// Renders the comparison against `baseline` as a GitHub-flavoured
+    /// markdown drift table — one row per (bench, metric) with its
+    /// baseline value, current value, relative drift, and verdict.
+    /// Verdicts mirror [`compare`](Self::compare) exactly: counters
+    /// judge symmetric drift against `tolerance`, wall/RSS rows judge
+    /// *growth only* against `wall_tolerance` and can at most warn.
+    /// Written into the CI job summary so a failing gate names the
+    /// offending counter at a glance.
+    pub fn markdown_table(
+        &self,
+        baseline: &PerfReport,
+        tolerance: f64,
+        wall_tolerance: f64,
+    ) -> String {
+        let mut out = String::from(
+            "| bench | metric | baseline | current | drift | verdict |\n\
+             |---|---|---:|---:|---:|---|\n",
+        );
+        let row =
+            |out: &mut String, bench: &str, metric: &str, base: f64, now: f64, gates: bool| {
+                let signed_drift = (now - base) / base.abs().max(1e-12);
+                let verdict = if gates && relative_drift(now, base) > tolerance {
+                    "**FAIL**"
+                } else if gates {
+                    "ok"
+                } else if signed_drift > wall_tolerance {
+                    "warn"
+                } else {
+                    "ok (warn-only)"
+                };
+                let _ = writeln!(
+                    out,
+                    "| {bench} | {metric} | {} | {} | {:+.1}% | {verdict} |",
+                    fmt_num(base),
+                    fmt_num(now),
+                    100.0 * signed_drift,
+                );
+            };
+        for base in &baseline.benches {
+            let Some(current) = self.bench(&base.name) else {
+                let _ = writeln!(
+                    out,
+                    "| {} | — | — | — | — | **FAIL** (bench missing from current run) |",
+                    base.name
+                );
+                continue;
+            };
+            for (counter, expected) in &base.counters {
+                match current.counters.iter().find(|(k, _)| k == counter) {
+                    Some((_, actual)) => {
+                        row(&mut out, &base.name, counter, *expected, *actual, true)
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "| {} | {counter} | {} | — | — | **FAIL** (counter missing) |",
+                            base.name,
+                            fmt_num(*expected)
+                        );
+                    }
+                }
+            }
+            row(
+                &mut out,
+                &base.name,
+                "wall_ms",
+                base.wall_ms,
+                current.wall_ms,
+                false,
+            );
+            if let (Some(b), Some(c)) = (base.peak_rss_mb, current.peak_rss_mb) {
+                row(&mut out, &base.name, "peak_rss_mb", b, c, false);
+            }
+        }
+        out
     }
 }
 
@@ -385,12 +517,14 @@ mod tests {
                 PerfBench {
                     name: "sim_year".into(),
                     wall_ms: 123.456,
+                    peak_rss_mb: Some(512.25),
                     counters: vec![("events".into(), 108000.0), ("jobs".into(), 54000.0)],
                     rates: vec![("events_per_s".into(), 874912.252)],
                 },
                 PerfBench {
                     name: "sweep_grid".into(),
                     wall_ms: 250.0,
+                    peak_rss_mb: None,
                     counters: vec![("cells".into(), 36.0)],
                     rates: vec![],
                 },
@@ -407,6 +541,72 @@ mod tests {
         assert!((parsed.bench("sim_year").unwrap().wall_ms - 123.456).abs() < 1e-9);
         assert!((parsed.bench("sim_year").unwrap().rates[0].1 - 874912.252).abs() < 1e-9);
         assert_eq!(parsed.bench("sweep_grid").unwrap().counters[0].1, 36.0);
+        // Peak RSS survives the roundtrip where present and stays absent
+        // where it was unavailable.
+        assert_eq!(parsed.bench("sim_year").unwrap().peak_rss_mb, Some(512.25));
+        assert_eq!(parsed.bench("sweep_grid").unwrap().peak_rss_mb, None);
+    }
+
+    #[test]
+    fn rss_growth_only_warns() {
+        let mut current = report();
+        current.benches[0].peak_rss_mb = Some(512.25 * 4.0);
+        let cmp = current.compare(&report(), 0.2, 0.5);
+        assert!(cmp.passed(), "RSS must never fail the gate");
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("peak RSS")),
+            "{:?}",
+            cmp.warnings
+        );
+        // A bench without RSS on either side warns about nothing.
+        let cmp = report().compare(&report(), 0.2, 0.5);
+        assert!(cmp.warnings.is_empty());
+    }
+
+    #[test]
+    fn markdown_table_names_offending_counters() {
+        let mut current = report();
+        current.benches[0].counters[0].1 *= 1.5; // events +50%: FAIL
+        current.benches[0].wall_ms *= 3.0; // wall: warn-only
+        let table = current.markdown_table(&report(), 0.2, 0.5);
+        let events_row = table
+            .lines()
+            .find(|l| l.contains("| events |"))
+            .expect("events row present");
+        assert!(events_row.contains("**FAIL**"), "{events_row}");
+        assert!(events_row.contains("+50.0%"), "{events_row}");
+        let wall_row = table
+            .lines()
+            .find(|l| l.contains("| sim_year | wall_ms |"))
+            .expect("wall row present");
+        assert!(wall_row.contains("warn"), "{wall_row}");
+        assert!(!wall_row.contains("FAIL"), "{wall_row}");
+        // Verdicts mirror the gate: a wall *improvement* (or a regression
+        // inside wall_tolerance) is not a warning, even when it exceeds
+        // the much tighter counter tolerance.
+        let mut faster = report();
+        faster.benches[0].wall_ms *= 0.5;
+        faster.benches[1].wall_ms *= 1.4; // +40% < 50% wall tolerance
+        let table = faster.markdown_table(&report(), 0.2, 0.5);
+        for line in table.lines().filter(|l| l.contains("| wall_ms |")) {
+            assert!(line.contains("ok (warn-only)"), "{line}");
+        }
+        let jobs_row = table
+            .lines()
+            .find(|l| l.contains("| jobs |"))
+            .expect("jobs row present");
+        assert!(jobs_row.contains("| ok |"), "{jobs_row}");
+        // Peak RSS appears as a warn-only row when both sides report it.
+        assert!(table.contains("| peak_rss_mb |"), "{table}");
+    }
+
+    #[test]
+    fn local_peak_rss_is_sane_on_linux() {
+        if let Some(rss) = peak_rss_mb() {
+            // The test binary plainly uses more than 1 MB and (sanity
+            // bound) less than a terabyte.
+            assert!(rss > 1.0 && rss < 1e6, "implausible peak RSS {rss}");
+        }
     }
 
     #[test]

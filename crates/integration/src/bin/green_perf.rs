@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! green-perf [--out <report.json>] [--check <baseline.json>]
-//!            [--tolerance <rel>] [--wall-tolerance <rel>] [--quiet]
+//!            [--tolerance <rel>] [--wall-tolerance <rel>]
+//!            [--summary <file.md>] [--quiet]
 //! ```
 //!
-//! Runs three benches and emits a machine-readable JSON report
+//! Runs four benches and emits a machine-readable JSON report
 //! (`green_bench::perf` schema):
 //!
 //! * `sim_year` — the discrete-event simulator over the Table 5 fleet
@@ -20,17 +21,41 @@
 //!   across machines); counts cells, simulator events, realizations
 //!   derived and price tables compiled — the counters that catch a
 //!   broken structure-sharing cache.
+//! * `sweep_grid_paper` — the `examples/sweeps/paper_grid.toml` grid:
+//!   every cell replays the paper's full 142,380-job workload
+//!   (single-threaded). The gate the ROADMAP asked for: paper-scale
+//!   cells per second, with the arena-reused simulator holding each
+//!   cell under a second.
+//!
+//! Every bench also records the process peak RSS at completion
+//! (best-effort, Linux `/proc/self/status`; the high-water mark is
+//! reset before each bench where the platform allows) so allocation
+//! regressions — a broken [`green_batchsim::SimArena`], a cache that
+//! stopped sharing — show in the committed baseline. RSS and wall time
+//! are warn-only.
+//!
+//! The `release_work` counter (scheduler release-list entries examined
+//! by backfill reservations) is a deliberate **tripwire**: on every
+//! gated grid the binding constraint is the paper's
+//! one-running-job-per-user rule, never core capacity, so its baseline
+//! value is zero. Any change that makes reservation scans appear fails
+//! the gate — by the same zero-baseline rule as `price_tables` — and
+//! demands a deliberate baseline regeneration, because it means
+//! scheduling behaviour itself changed.
 //!
 //! `--check` compares the run against a committed baseline
-//! (`BENCH_3.json`): deterministic-counter drift beyond `--tolerance`
-//! (default 0.20) **fails**; wall-time drift beyond `--wall-tolerance`
-//! (default 1.00, i.e. 2× slower) only warns — CI runners are noisy,
-//! work counts are not.
+//! (`BENCH_4.json`): deterministic-counter drift beyond `--tolerance`
+//! (default 0.20) **fails**, and the failure message names each
+//! offending `bench.counter`; wall-time/RSS drift beyond
+//! `--wall-tolerance` (default 1.00, i.e. 2× slower) only warns — CI
+//! runners are noisy, work counts are not. `--summary` appends a
+//! markdown drift table (every counter, wall and RSS row with its
+//! verdict) to the given file — pointed at `$GITHUB_STEP_SUMMARY` in CI.
 
 use std::time::Instant;
 
-use green_batchsim::{intensity_for, run_cell, PlacementTable, Policy, SimConfig};
-use green_bench::{PerfBench, PerfReport};
+use green_batchsim::{intensity_for, run_cell_in, PlacementTable, Policy, SimArena, SimConfig};
+use green_bench::{peak_rss_mb, PerfBench, PerfReport};
 use green_carbon::HourlyTrace;
 use green_machines::simulation_fleet;
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
@@ -38,21 +63,35 @@ use green_scenarios::{Sweep, SweepRunner};
 use green_units::TimePoint;
 use green_workload::{Trace, TraceConfig};
 
-/// The grid the `sweep_grid` bench replays — the shipped example, so
-/// the bench measures exactly what users (and CI) run.
+/// The grids the sweep benches replay — the shipped examples, so the
+/// bench measures exactly what users (and CI) run.
 const SENSITIVITY_TOML: &str = include_str!("../../../../examples/sweeps/sensitivity.toml");
+const PAPER_GRID_TOML: &str = include_str!("../../../../examples/sweeps/paper_grid.toml");
 
 const USAGE: &str = "\
 green-perf — deterministic perf suite and bench-regression gate
 
 USAGE:
     green-perf [--out <report.json>] [--check <baseline.json>]
-               [--tolerance <rel>] [--wall-tolerance <rel>] [--quiet]
+               [--tolerance <rel>] [--wall-tolerance <rel>]
+               [--summary <file.md>] [--quiet]
 ";
 
 fn fail(message: &str) -> ! {
     eprintln!("error: {message}\n\n{USAGE}");
     std::process::exit(2);
+}
+
+/// Runs one bench with the process RSS high-water mark reset first
+/// (best-effort: `/proc/self/clear_refs` on Linux, no-op elsewhere or
+/// without permission), so each bench's `peak_rss_mb` approximates its
+/// *own* peak instead of inheriting every earlier bench's. Memory the
+/// allocator retains from earlier benches still floors the value — the
+/// number is advisory either way.
+fn measured(bench: impl FnOnce() -> PerfBench) -> PerfBench {
+    #[cfg(target_os = "linux")]
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+    bench()
 }
 
 fn bench_sim_year() -> PerfBench {
@@ -67,26 +106,33 @@ fn bench_sim_year() -> PerfBench {
     let intensity: Vec<HourlyTrace> = intensity_for(&fleet, 23);
 
     let start = Instant::now();
+    let mut arena = SimArena::new();
     let mut events = 0u64;
     let mut jobs = 0u64;
+    let mut release_work = 0u64;
     for policy in [Policy::Greedy, Policy::Energy, Policy::Eft] {
-        let metrics = run_cell(
+        let metrics = run_cell_in(
             &trace,
             &fleet,
             &table,
             &intensity,
             SimConfig::new(policy, green_accounting::MethodKind::eba(), 24),
+            &mut arena,
         );
         events += metrics.events as u64;
         jobs += metrics.outcomes.len() as u64;
+        release_work += metrics.release_work;
+        arena.recycle(metrics);
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     PerfBench {
         name: "sim_year".into(),
         wall_ms,
+        peak_rss_mb: peak_rss_mb(),
         counters: vec![
             ("events".into(), events as f64),
             ("jobs".into(), jobs as f64),
+            ("release_work".into(), release_work as f64),
         ],
         rates: vec![(
             "events_per_s".into(),
@@ -118,6 +164,7 @@ fn bench_attribution() -> PerfBench {
     PerfBench {
         name: "attribution".into(),
         wall_ms,
+        peak_rss_mb: peak_rss_mb(),
         counters: vec![("queries".into(), QUERIES as f64)],
         rates: vec![(
             "queries_per_s".into(),
@@ -126,25 +173,36 @@ fn bench_attribution() -> PerfBench {
     }
 }
 
-fn bench_sweep_grid() -> PerfBench {
-    let sweep = Sweep::from_toml_str(SENSITIVITY_TOML).expect("shipped sweep parses");
+/// Runs a sweep grid single-threaded and reports its deterministic work
+/// counters plus cells/s and events/s.
+fn bench_sweep(name: &str, toml: &str) -> PerfBench {
+    let sweep = Sweep::from_toml_str(toml).expect("shipped sweep parses");
     let start = Instant::now();
     let (results, stats) = SweepRunner::new(1).run_collect(&sweep, None, None);
     std::hint::black_box(results);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     PerfBench {
-        name: "sweep_grid".into(),
+        name: name.into(),
         wall_ms,
+        peak_rss_mb: peak_rss_mb(),
         counters: vec![
             ("cells".into(), stats.cells as f64),
             ("events".into(), stats.events as f64),
+            ("release_work".into(), stats.release_work as f64),
             ("realizations".into(), stats.realizations as f64),
             ("price_tables".into(), stats.price_tables as f64),
         ],
-        rates: vec![(
-            "cells_per_s".into(),
-            stats.cells as f64 / (wall_ms / 1e3).max(1e-12),
-        )],
+        rates: vec![
+            (
+                "cells_per_s".into(),
+                stats.cells as f64 / (wall_ms / 1e3).max(1e-12),
+            ),
+            (
+                "events_per_s".into(),
+                stats.events as f64 / (wall_ms / 1e3).max(1e-12),
+            ),
+            ("ms_per_cell".into(), wall_ms / stats.cells.max(1) as f64),
+        ],
     }
 }
 
@@ -156,6 +214,7 @@ fn main() {
     }
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut summary: Option<String> = None;
     let mut tolerance = 0.20f64;
     let mut wall_tolerance = 1.00f64;
     let mut quiet = false;
@@ -169,6 +228,7 @@ fn main() {
         match arg.as_str() {
             "--out" => out = Some(value("--out")),
             "--check" => check = Some(value("--check")),
+            "--summary" => summary = Some(value("--summary")),
             "--tolerance" => {
                 tolerance = value("--tolerance")
                     .parse()
@@ -183,9 +243,17 @@ fn main() {
             other => fail(&format!("unknown option `{other}`")),
         }
     }
+    if summary.is_some() && check.is_none() {
+        fail("--summary renders drift against a baseline; it requires --check");
+    }
 
     let report = PerfReport {
-        benches: vec![bench_sim_year(), bench_attribution(), bench_sweep_grid()],
+        benches: vec![
+            measured(bench_sim_year),
+            measured(bench_attribution),
+            measured(|| bench_sweep("sweep_grid", SENSITIVITY_TOML)),
+            measured(|| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML)),
+        ],
     };
     if !quiet {
         for bench in &report.benches {
@@ -195,7 +263,7 @@ fn main() {
                 .map(|(k, v)| format!("{k} {v:.0}"))
                 .collect();
             eprintln!(
-                "bench {:<12} {:>9.1} ms   {}",
+                "bench {:<16} {:>9.1} ms   {}",
                 bench.name,
                 bench.wall_ms,
                 rates.join("  ")
@@ -223,6 +291,21 @@ fn main() {
             std::process::exit(1);
         });
         let cmp = report.compare(&baseline, tolerance, wall_tolerance);
+        if let Some(summary_path) = summary {
+            let table = format!(
+                "## green-perf drift vs `{path}`\n\n{}\n",
+                report.markdown_table(&baseline, tolerance, wall_tolerance)
+            );
+            use std::io::Write as _;
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&summary_path)
+                .and_then(|mut f| f.write_all(table.as_bytes()));
+            if let Err(e) = appended {
+                eprintln!("warning: could not write summary {summary_path}: {e}");
+            }
+        }
         for warning in &cmp.warnings {
             eprintln!("warning: {warning}");
         }
@@ -231,9 +314,9 @@ fn main() {
         }
         if !cmp.passed() {
             eprintln!(
-                "bench gate: {} counter regression(s) beyond ±{:.0}% of {path}",
-                cmp.failures.len(),
-                tolerance * 100.0
+                "bench gate: counter regression(s) beyond ±{:.0}% of {path} in: {}",
+                tolerance * 100.0,
+                cmp.failed_counters.join(", ")
             );
             std::process::exit(1);
         }

@@ -7,6 +7,7 @@
 //!   --stream             stream rows to --out as configurations finish
 //!                        (constant memory; identical bytes)
 //!   --threads <n>        worker threads (default: all cores)
+//!   --preset <p>         override the workload preset (tiny|quick|paper)
 //!   --filter <substr>    only run cells whose label contains <substr>
 //!   --list               print the expanded cells and exit without running
 //!   --quiet              suppress the progress line
@@ -15,19 +16,27 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use green_scenarios::{cell_label, Sweep, SweepRunner};
+use green_scenarios::{cell_label, Sweep, SweepRunner, WorkloadPreset};
 
 const USAGE: &str = "\
 scenarios — parallel Monte-Carlo scenario sweeps over the batch simulator
 
 USAGE:
     scenarios <sweep.toml> [--out <file.csv>] [--stream] [--threads <n>]
-              [--filter <substr>] [--list] [--quiet]
+              [--preset <tiny|quick|paper>] [--filter <substr>] [--list]
+              [--quiet]
 
 --stream writes aggregate rows to --out as each configuration's
 replicates complete (expansion order, byte-identical to the buffered
 CSV) instead of holding every cell in memory — the mode for grids too
 large to aggregate in RAM.
+
+--preset reruns the sweep file's grid at another workload scale —
+`--preset paper` replays the full 142,380-job workload per cell (the
+scale the paper reports on; with the arena-reused simulator a paper
+cell runs in well under a second), `--preset tiny` shrinks any grid to
+a CI-sized smoke pass. The default user population follows the preset
+unless the file pins a `grid.users` axis.
 
 The sweep file declares a Cartesian grid (policies × methods × fleets ×
 sim-years × users × backfill × workload scale × intensity scale ×
@@ -56,6 +65,7 @@ fn main() {
     let mut sweep_path: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut threads = 0usize;
+    let mut preset: Option<WorkloadPreset> = None;
     let mut filter: Option<String> = None;
     let mut list = false;
     let mut quiet = false;
@@ -76,6 +86,12 @@ fn main() {
                 threads = v
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("bad thread count `{v}`")));
+            }
+            "--preset" => {
+                let Some(v) = it.next() else {
+                    fail("--preset needs a workload preset (tiny|quick|paper)");
+                };
+                preset = Some(WorkloadPreset::parse(v).unwrap_or_else(|e| fail(&e.to_string())));
             }
             "--filter" => {
                 let Some(v) = it.next() else {
@@ -101,9 +117,12 @@ fn main() {
     let text = std::fs::read_to_string(&sweep_path).unwrap_or_else(|e| {
         fail(&format!("cannot read {}: {e}", sweep_path.display()));
     });
-    let sweep = Sweep::from_toml_str(&text).unwrap_or_else(|e| {
+    let mut sweep = Sweep::from_toml_str(&text).unwrap_or_else(|e| {
         fail(&format!("{}: {e}", sweep_path.display()));
     });
+    if let Some(preset) = preset {
+        sweep.override_preset(preset);
+    }
 
     if list {
         println!(

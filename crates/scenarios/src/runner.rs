@@ -27,7 +27,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use green_batchsim::{
-    intensity_for, run_cell, MarketInputs, PlacementTable, PriceTable, RunMetrics, SimConfig,
+    intensity_for, run_cell_in, MarketInputs, PlacementTable, PriceTable, RunMetrics, SimArena,
+    SimConfig,
 };
 use green_carbon::HourlyTrace;
 use green_machines::{simulation_fleet, FleetMachine};
@@ -72,6 +73,9 @@ pub struct CellMetrics {
     /// Simulator events processed (deterministic work counter; not
     /// aggregated into the CSV).
     pub events: usize,
+    /// Scheduler release-list entries examined by backfill reservations
+    /// (deterministic work counter; not aggregated into the CSV).
+    pub release_work: u64,
 }
 
 impl CellMetrics {
@@ -104,6 +108,7 @@ impl CellMetrics {
             posted_credits: 0.0,
             banked_credits: 0.0,
             events: metrics.events,
+            release_work: metrics.release_work,
         }
     }
 }
@@ -224,8 +229,22 @@ impl SweepWorld {
             .expect("population prepared at build time")
     }
 
-    /// Runs one cell against the shared state and caches.
+    /// Runs one cell against the shared state and caches, with fresh
+    /// simulation state — the one-shot form of
+    /// [`run_cell_in`](SweepWorld::run_cell_in).
     pub fn run_cell(&self, spec: &ScenarioSpec, caches: &SweepCaches) -> CellMetrics {
+        self.run_cell_in(spec, caches, &mut SimArena::new())
+    }
+
+    /// Runs one cell against the shared state and caches, borrowing all
+    /// simulation buffers from `arena` — sweep workers hold one arena
+    /// each, so steady-state cell execution allocates (almost) nothing.
+    pub fn run_cell_in(
+        &self,
+        spec: &ScenarioSpec,
+        caches: &SweepCaches,
+        arena: &mut SimArena,
+    ) -> CellMetrics {
         let population = self.population_for(spec.users);
         let trace = &population
             .traces
@@ -259,7 +278,14 @@ impl SweepWorld {
                 shift_threshold: SHIFT_THRESHOLD,
             }),
         };
-        let metrics = run_cell(trace, &slice.machines, &slice.table, &intensity, config);
+        let metrics = run_cell_in(
+            trace,
+            &slice.machines,
+            &slice.table,
+            &intensity,
+            config,
+            arena,
+        );
         let capacity: f64 = slice
             .machines
             .iter()
@@ -288,6 +314,8 @@ impl SweepWorld {
             cell.posted_credits = run.posted_spent;
             cell.banked_credits = run.banked;
         }
+        // Hand the outcome storage back so the next cell reuses it.
+        arena.recycle(metrics);
         cell
     }
 }
@@ -485,6 +513,9 @@ pub struct RunStats {
     pub cells: usize,
     /// Simulator events processed, summed over cells.
     pub events: u64,
+    /// Scheduler release-list entries examined by backfill reservations,
+    /// summed over cells.
+    pub release_work: u64,
     /// Distinct intensity realizations derived (shared across cells).
     pub realizations: usize,
     /// Distinct posted-price tables compiled.
@@ -620,9 +651,11 @@ impl SweepRunner {
         let (world, cells, caches) = self.prepare(sweep, filter);
         let n = cells.len();
         let events = AtomicU64::new(0);
+        let release_work = AtomicU64::new(0);
         let slots: Vec<Mutex<Option<CellMetrics>>> = (0..n).map(|_| Mutex::new(None)).collect();
         self.execute(&world, &caches, &cells, progress, &|index, metrics| {
             events.fetch_add(metrics.events as u64, Ordering::Relaxed);
+            release_work.fetch_add(metrics.release_work, Ordering::Relaxed);
             *slots[index].lock().expect("slot lock") = Some(metrics);
         });
         let results: Vec<CellMetrics> = slots
@@ -640,7 +673,7 @@ impl SweepRunner {
             let config_spec = &cells[summaries.len() * replicates].spec;
             summaries.push(CellSummary::of(config_spec, chunk));
         }
-        let stats = self.stats_of(&caches, n, events.into_inner());
+        let stats = self.stats_of(&caches, n, events.into_inner(), release_work.into_inner());
         (
             SweepResults {
                 name: sweep.name.clone(),
@@ -666,9 +699,16 @@ impl SweepRunner {
         let (world, cells, caches) = self.prepare(sweep, filter);
         let n = cells.len();
         let replicates = sweep.seeds.len().max(1);
+        // Write *and flush* the header before any cell runs: a consumer
+        // tailing the stream (or a test asserting liveness) must see the
+        // first bytes immediately, not after the writer's buffer fills
+        // with row data — large grids used to sit silent for the whole
+        // first buffer's worth of configurations.
         out.write_all(green_bench::export::csv_line(&CSV_HEADERS).as_bytes())?;
+        out.flush()?;
 
         let events = AtomicU64::new(0);
+        let release_work = AtomicU64::new(0);
         let sink = Mutex::new(StreamSink {
             replicates,
             cells: &cells,
@@ -681,6 +721,7 @@ impl SweepRunner {
         });
         self.execute(&world, &caches, &cells, progress, &|index, metrics| {
             events.fetch_add(metrics.events as u64, Ordering::Relaxed);
+            release_work.fetch_add(metrics.release_work, Ordering::Relaxed);
             sink.lock().expect("sink lock").offer(index, metrics);
         });
         let sink = sink.into_inner().expect("sink lock");
@@ -689,7 +730,7 @@ impl SweepRunner {
         }
         debug_assert!(sink.pending.is_empty(), "incomplete configuration groups");
         let configs = sink.flushed;
-        let stats = self.stats_of(&caches, n, events.into_inner());
+        let stats = self.stats_of(&caches, n, events.into_inner(), release_work.into_inner());
         Ok(StreamSummary {
             configs,
             cells: n,
@@ -716,10 +757,17 @@ impl SweepRunner {
         (world, cells, caches)
     }
 
-    fn stats_of(&self, caches: &SweepCaches, cells: usize, events: u64) -> RunStats {
+    fn stats_of(
+        &self,
+        caches: &SweepCaches,
+        cells: usize,
+        events: u64,
+        release_work: u64,
+    ) -> RunStats {
         RunStats {
             cells,
             events,
+            release_work,
             realizations: caches.realization_count(),
             price_tables: caches.price_table_count(),
             agent_populations: caches.agent_population_count(),
@@ -740,8 +788,9 @@ impl SweepRunner {
         let n = cells.len();
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
+            let mut arena = SimArena::new();
             for (i, c) in cells.iter().enumerate() {
-                let metrics = world.run_cell(&c.spec, caches);
+                let metrics = world.run_cell_in(&c.spec, caches, &mut arena);
                 sink(i, metrics);
                 if let Some(cb) = progress {
                     cb(i + 1, n);
@@ -753,16 +802,21 @@ impl SweepRunner {
         let done = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let metrics = world.run_cell(&cells[i].spec, caches);
-                    sink(i, metrics);
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if let Some(cb) = progress {
-                        cb(finished, n);
+                scope.spawn(|| {
+                    // One arena per worker: every cell this thread claims
+                    // reuses the same simulation buffers.
+                    let mut arena = SimArena::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let metrics = world.run_cell_in(&cells[i].spec, caches, &mut arena);
+                        sink(i, metrics);
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(cb) = progress {
+                            cb(finished, n);
+                        }
                     }
                 });
             }

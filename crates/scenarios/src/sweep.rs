@@ -18,7 +18,10 @@ pub enum WorkloadPreset {
 }
 
 impl WorkloadPreset {
-    fn parse(token: &str) -> Result<Self, SpecError> {
+    /// Parses a preset token (`tiny`/`small`, `quick`, `paper`/`full`) —
+    /// the grammar both sweep files and the `scenarios --preset` flag
+    /// use.
+    pub fn parse(token: &str) -> Result<Self, SpecError> {
         match token.trim().to_ascii_lowercase().as_str() {
             "tiny" | "small" => Ok(WorkloadPreset::Tiny),
             "quick" => Ok(WorkloadPreset::Quick),
@@ -126,6 +129,10 @@ pub struct Sweep {
     pub banking_caps: Vec<f64>,
     /// Monte-Carlo replicate seeds.
     pub seeds: Vec<u64>,
+    /// True when the sweep file pinned `grid.users` explicitly — a
+    /// pinned axis survives [`override_preset`](Sweep::override_preset)
+    /// even when its value happens to equal the preset default.
+    pub users_pinned: bool,
 }
 
 impl Sweep {
@@ -150,6 +157,20 @@ impl Sweep {
             price_schedules: vec![PriceSpec::Flat],
             banking_caps: vec![0.0],
             seeds: vec![1],
+            users_pinned: false,
+        }
+    }
+
+    /// Re-targets the sweep at another workload preset — the
+    /// `scenarios --preset` override, so any sweep file can be rerun at
+    /// paper scale (or shrunk to `tiny` for a smoke pass) without
+    /// editing it. The default user population follows the new preset;
+    /// an explicit `grid.users` axis is preserved, even when its value
+    /// happens to equal the old preset's default.
+    pub fn override_preset(&mut self, preset: WorkloadPreset) {
+        self.workload.preset = preset;
+        if !self.users_pinned {
+            self.users = vec![self.workload.default_users()];
         }
     }
 
@@ -352,6 +373,7 @@ impl Sweep {
                 .collect::<Result<_, _>>()?;
         }
         if let Some(v) = grid.get("users") {
+            sweep.users_pinned = true;
             sweep.users = int_items(v, "grid.users")?
                 .into_iter()
                 .map(|i| {
@@ -650,5 +672,26 @@ banking_caps = [0.0, 25.0]
     fn preset_sets_default_population() {
         let sweep = Sweep::from_toml_str("[workload]\npreset = \"quick\"").unwrap();
         assert_eq!(sweep.users, vec![60]);
+    }
+
+    #[test]
+    fn override_preset_follows_defaults_but_keeps_pinned_users() {
+        // Default population follows the preset override.
+        let mut sweep = Sweep::from_toml_str("[workload]\npreset = \"tiny\"").unwrap();
+        assert_eq!(sweep.users, vec![24]);
+        sweep.override_preset(WorkloadPreset::Paper);
+        assert_eq!(sweep.workload.preset, WorkloadPreset::Paper);
+        assert_eq!(sweep.users, vec![250]);
+
+        // An explicitly pinned axis survives — even when its value
+        // happens to equal the old preset's default.
+        let mut sweep =
+            Sweep::from_toml_str("[workload]\npreset = \"tiny\"\n[grid]\nusers = [24]").unwrap();
+        sweep.override_preset(WorkloadPreset::Paper);
+        assert_eq!(sweep.users, vec![24], "pinned users must not be replaced");
+
+        let mut sweep = Sweep::from_toml_str("[grid]\nusers = [24, 96]").unwrap();
+        sweep.override_preset(WorkloadPreset::Quick);
+        assert_eq!(sweep.users, vec![24, 96]);
     }
 }

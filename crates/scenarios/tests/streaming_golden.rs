@@ -35,6 +35,63 @@ fn streamed_csv_is_byte_identical_to_in_memory() {
     }
 }
 
+/// A writer that records, for every `write`/`flush` it receives, how
+/// many cells had completed at that moment — the liveness probe for the
+/// streaming contract.
+struct TracingWriter {
+    /// `(bytes_written_by_this_op, cells_done_at_that_moment, was_flush)`
+    ops: std::sync::Mutex<Vec<(usize, usize, bool)>>,
+    cells_done: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl std::io::Write for &TracingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let done = self.cells_done.load(std::sync::atomic::Ordering::SeqCst);
+        self.ops.lock().unwrap().push((buf.len(), done, false));
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let done = self.cells_done.load(std::sync::atomic::Ordering::SeqCst);
+        self.ops.lock().unwrap().push((0, done, true));
+        Ok(())
+    }
+}
+
+/// The stream's first byte must be observable before the first cell
+/// completes: the header row is written *and flushed* eagerly, not
+/// parked in the writer until enough row data accumulates. Guards the
+/// regression where a multi-axis grid sat silent until the first
+/// buffer's worth of configurations had finished.
+#[test]
+fn header_is_flushed_before_the_first_cell_completes() {
+    let sweep = sensitivity_sweep();
+    let cells_done = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let writer = TracingWriter {
+        ops: std::sync::Mutex::new(Vec::new()),
+        cells_done: std::sync::Arc::clone(&cells_done),
+    };
+    let progress_cells = std::sync::Arc::clone(&cells_done);
+    let progress = move |done: usize, _total: usize| {
+        progress_cells.store(done, std::sync::atomic::Ordering::SeqCst);
+    };
+    let mut out = &writer;
+    SweepRunner::new(1)
+        .run_streamed(&sweep, None, Some(&progress), &mut out)
+        .expect("tracing writer cannot fail");
+    let ops = writer.ops.lock().unwrap();
+    assert!(ops.len() >= 2, "expected header write + flush, got {ops:?}");
+    let (header_bytes, header_done, header_is_flush) = ops[0];
+    assert!(
+        !header_is_flush && header_bytes > 0,
+        "first op is the header"
+    );
+    assert_eq!(header_done, 0, "header written before any cell completed");
+    let (_, flush_done, is_flush) = ops[1];
+    assert!(is_flush, "header must be followed by an eager flush");
+    assert_eq!(flush_done, 0, "first byte available before the first cell");
+}
+
 #[test]
 fn streamed_filtered_rows_match_the_filtered_run() {
     let sweep = sensitivity_sweep();
