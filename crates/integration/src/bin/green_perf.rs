@@ -26,6 +26,14 @@
 //!   (single-threaded). The gate the ROADMAP asked for: paper-scale
 //!   cells per second, with the arena-reused simulator holding each
 //!   cell under a second.
+//! * `sweep_grid_mega` — a 100,000-cell shard (0/10) of the
+//!   million-cell `examples/sweeps/mega_grid.toml`, streamed through
+//!   [`green_scenarios::SweepRunner::run_streamed_range`] into a null
+//!   sink (single-threaded): survey-scale cells per second through the
+//!   exact sharded execution path CI fans out across workers. Counts
+//!   cells, configuration rows, events and realizations — the counters
+//!   that catch a broken range partitioner or a cache that stopped
+//!   sharing at scale.
 //!
 //! Every bench also records the process peak RSS at completion
 //! (best-effort, Linux `/proc/self/status`; the high-water mark is
@@ -59,7 +67,7 @@ use green_bench::{peak_rss_mb, PerfBench, PerfReport};
 use green_carbon::HourlyTrace;
 use green_machines::simulation_fleet;
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
-use green_scenarios::{Sweep, SweepRunner};
+use green_scenarios::{Shard, Sweep, SweepRunner};
 use green_units::TimePoint;
 use green_workload::{Trace, TraceConfig};
 
@@ -67,6 +75,7 @@ use green_workload::{Trace, TraceConfig};
 /// bench measures exactly what users (and CI) run.
 const SENSITIVITY_TOML: &str = include_str!("../../../../examples/sweeps/sensitivity.toml");
 const PAPER_GRID_TOML: &str = include_str!("../../../../examples/sweeps/paper_grid.toml");
+const MEGA_GRID_TOML: &str = include_str!("../../../../examples/sweeps/mega_grid.toml");
 
 const USAGE: &str = "\
 green-perf — deterministic perf suite and bench-regression gate
@@ -206,6 +215,43 @@ fn bench_sweep(name: &str, toml: &str) -> PerfBench {
     }
 }
 
+/// Streams one 100,000-cell shard of the million-cell mega grid through
+/// the sharded execution path — the survey-scale throughput number the
+/// ROADMAP asked for, measured on exactly the code CI's shard matrix
+/// fans out.
+fn bench_sweep_mega() -> PerfBench {
+    let sweep = Sweep::from_toml_str(MEGA_GRID_TOML).expect("shipped sweep parses");
+    assert_eq!(sweep.cell_count(), 1_000_000, "the mega grid moved");
+    let range = Shard { index: 0, of: 10 }.cell_range(sweep.config_count(), sweep.seeds.len());
+    let start = Instant::now();
+    let summary = SweepRunner::new(1)
+        .run_streamed_range(&sweep, None, Some(range), true, None, &mut std::io::sink())
+        .expect("streaming to a sink cannot fail");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PerfBench {
+        name: "sweep_grid_mega".into(),
+        wall_ms,
+        peak_rss_mb: peak_rss_mb(),
+        counters: vec![
+            ("cells".into(), summary.cells as f64),
+            ("configs".into(), summary.configs as f64),
+            ("events".into(), summary.stats.events as f64),
+            ("release_work".into(), summary.stats.release_work as f64),
+            ("realizations".into(), summary.stats.realizations as f64),
+        ],
+        rates: vec![
+            (
+                "cells_per_s".into(),
+                summary.cells as f64 / (wall_ms / 1e3).max(1e-12),
+            ),
+            (
+                "events_per_s".into(),
+                summary.stats.events as f64 / (wall_ms / 1e3).max(1e-12),
+            ),
+        ],
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -253,6 +299,7 @@ fn main() {
             measured(bench_attribution),
             measured(|| bench_sweep("sweep_grid", SENSITIVITY_TOML)),
             measured(|| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML)),
+            measured(bench_sweep_mega),
         ],
     };
     if !quiet {

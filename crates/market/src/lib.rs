@@ -29,6 +29,41 @@
 //! simulation run is settled through any `CreditStore` at posted prices,
 //! with savings banked — the workload `green-scenarios` sweeps over the
 //! new elasticity / price-schedule / banking axes.
+//!
+//! # Example
+//!
+//! Compile a carbon-indexed posted-price schedule, sample an elastic
+//! agent population, and hold credits in the sharded concurrent ledger:
+//!
+//! ```
+//! use green_accounting::CreditStore;
+//! use green_carbon::HourlyTrace;
+//! use green_market::{market_population, price_table, PriceSpec, ShardedLedger};
+//! use green_units::{Credits, TimePoint};
+//!
+//! // A two-day intensity trace: clean half-days alternate with dirty.
+//! let hours = (0..48).map(|h| if h % 24 < 12 { 150.0 } else { 400.0 });
+//! let trace = HourlyTrace::new(hours.collect());
+//! let prices = price_table(&[trace], PriceSpec::parse("carbon:0.5").unwrap());
+//! // Carbon-indexed pricing posts cheaper multipliers in clean hours.
+//! let clean = prices.multiplier_at(0, TimePoint::from_hours(3.0));
+//! let dirty = prices.multiplier_at(0, TimePoint::from_hours(15.0));
+//! assert!(clean < dirty);
+//!
+//! // Agents seeded from the user study's behavioral profiles.
+//! let agents = market_population(16, 7, 1.0);
+//! assert_eq!(agents.len(), 16);
+//! assert!(agents.iter().any(|a| a.elasticity > 0.0));
+//!
+//! // The sharded ledger behind the same trait as the single-lock one.
+//! let ledger = ShardedLedger::new(4);
+//! ledger.grant("alice", Credits::new(100.0));
+//! ledger
+//!     .debit("alice", Credits::new(30.0), TimePoint::from_hours(1.0), "job-1")
+//!     .unwrap();
+//! assert!(ledger.can_afford("alice", Credits::new(70.0)));
+//! assert!(!ledger.can_afford("alice", Credits::new(70.1)));
+//! ```
 
 pub mod agents;
 pub mod desk;

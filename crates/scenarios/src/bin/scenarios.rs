@@ -7,24 +7,35 @@
 //!   --stream             stream rows to --out as configurations finish
 //!                        (constant memory; identical bytes)
 //!   --threads <n>        worker threads (default: all cores)
-//!   --preset <p>         override the workload preset (tiny|quick|paper)
+//!   --preset <p>         override the workload preset
+//!                        (micro|tiny|quick|paper)
 //!   --filter <substr>    only run cells whose label contains <substr>
+//!   --shard <I/N>        run shard I of an N-way split (implies --stream)
+//!   --cell-range <A..B>  run an explicit config-aligned cell range
+//!   --resume             continue a killed shard from its checkpoint
 //!   --list               print the expanded cells and exit without running
 //!   --quiet              suppress the progress line
+//!
+//! scenarios merge --out <merged.csv> [--partial] <shard.csv>...
 //! ```
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use green_scenarios::{cell_label, Sweep, SweepRunner, WorkloadPreset};
+use green_scenarios::{
+    cell_label, merge_shards, run_shard, Shard, ShardAssignment, ShardJob, Sweep, SweepRunner,
+    WorkloadPreset, CHECKPOINT_EVERY,
+};
 
 const USAGE: &str = "\
 scenarios — parallel Monte-Carlo scenario sweeps over the batch simulator
 
 USAGE:
     scenarios <sweep.toml> [--out <file.csv>] [--stream] [--threads <n>]
-              [--preset <tiny|quick|paper>] [--filter <substr>] [--list]
-              [--quiet]
+              [--preset <micro|tiny|quick|paper>] [--filter <substr>]
+              [--shard <I/N>] [--cell-range <A..B>] [--resume]
+              [--list] [--quiet]
+    scenarios merge --out <merged.csv> [--partial] <shard.csv>...
 
 --stream writes aggregate rows to --out as each configuration's
 replicates complete (expansion order, byte-identical to the buffered
@@ -33,16 +44,25 @@ large to aggregate in RAM.
 
 --preset reruns the sweep file's grid at another workload scale —
 `--preset paper` replays the full 142,380-job workload per cell (the
-scale the paper reports on; with the arena-reused simulator a paper
-cell runs in well under a second), `--preset tiny` shrinks any grid to
-a CI-sized smoke pass. The default user population follows the preset
-unless the file pins a `grid.users` axis.
+scale the paper reports on), `--preset micro` shrinks every cell to a
+~100-job trace for survey-scale (million-cell) grids. The default user
+population follows the preset unless the file pins a `grid.users` axis.
+
+--shard I/N runs only the I-th of N contiguous, configuration-aligned
+cell ranges (0-based), streaming to --out and checkpointing a
+`<out>.manifest` sidecar (cell range, row count, content hash). A
+killed worker re-run with --resume verifies the checkpoint and
+continues where it left off. `scenarios merge` then reassembles the
+shard CSVs into bytes identical to the single-process --stream run —
+so a fleet of machines (or one big box) can split a million-cell grid.
+--cell-range A..B does the same for an explicit half-open range (cell
+indices in expansion order, aligned to the replicate count).
 
 The sweep file declares a Cartesian grid (policies × methods × fleets ×
 sim-years × users × backfill × workload scale × intensity scale ×
 elasticity × price schedule × banking cap) and a set of Monte-Carlo
-replicate seeds; see examples/sweeps/ in the repository for worked
-specs.
+replicate seeds; see examples/sweeps/ in the repository, and
+docs/sweep-format.md for the full key reference.
 
 --filter runs only the grid configurations whose label (the `/`-joined
 config columns, e.g. `adaptive/cba/0+1+2+3/2023/24/64/1.000/1.000/
@@ -55,11 +75,71 @@ fn fail(message: &str) -> ! {
     std::process::exit(2);
 }
 
+/// The `scenarios merge` subcommand: reassemble completed shard CSVs.
+fn merge_main(args: &[String]) -> ! {
+    let mut out: Option<PathBuf> = None;
+    let mut partial = false;
+    let mut quiet = false;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(v) = it.next() else {
+                    fail("merge --out needs a file path");
+                };
+                out = Some(PathBuf::from(v));
+            }
+            "--partial" => partial = true,
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => fail(&format!("unknown merge option `{other}`")),
+            other => inputs.push(PathBuf::from(other)),
+        }
+    }
+    let Some(out) = out else {
+        fail("merge needs --out <merged.csv>");
+    };
+    if inputs.is_empty() {
+        fail("merge needs at least one shard CSV (each with its `.manifest` sidecar)");
+    }
+    match merge_shards(&inputs, &out, partial) {
+        Ok(summary) => {
+            if !quiet {
+                eprintln!(
+                    "merged {} shards ({} rows, {} bytes) into {}",
+                    summary.shards,
+                    summary.rows,
+                    summary.bytes,
+                    out.display()
+                );
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: merge: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses `--cell-range A..B` (half-open cell indices).
+fn parse_cell_range(token: &str) -> core::ops::Range<usize> {
+    let parsed = token.split_once("..").and_then(|(a, b)| {
+        let start: usize = a.trim().parse().ok()?;
+        let end: usize = b.trim().parse().ok()?;
+        (start <= end).then_some(start..end)
+    });
+    parsed.unwrap_or_else(|| fail(&format!("bad cell range `{token}` (expected A..B, A <= B)")))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{USAGE}");
         return;
+    }
+    if args.first().map(String::as_str) == Some("merge") {
+        merge_main(&args[1..]);
     }
 
     let mut sweep_path: Option<PathBuf> = None;
@@ -67,6 +147,9 @@ fn main() {
     let mut threads = 0usize;
     let mut preset: Option<WorkloadPreset> = None;
     let mut filter: Option<String> = None;
+    let mut shard: Option<Shard> = None;
+    let mut cell_range: Option<core::ops::Range<usize>> = None;
+    let mut resume = false;
     let mut list = false;
     let mut quiet = false;
     let mut stream = false;
@@ -89,7 +172,7 @@ fn main() {
             }
             "--preset" => {
                 let Some(v) = it.next() else {
-                    fail("--preset needs a workload preset (tiny|quick|paper)");
+                    fail("--preset needs a workload preset (micro|tiny|quick|paper)");
                 };
                 preset = Some(WorkloadPreset::parse(v).unwrap_or_else(|e| fail(&e.to_string())));
             }
@@ -99,6 +182,19 @@ fn main() {
                 };
                 filter = Some(v.clone());
             }
+            "--shard" => {
+                let Some(v) = it.next() else {
+                    fail("--shard needs a position (I/N, e.g. 2/8)");
+                };
+                shard = Some(Shard::parse(v).unwrap_or_else(|e| fail(&e.to_string())));
+            }
+            "--cell-range" => {
+                let Some(v) = it.next() else {
+                    fail("--cell-range needs a half-open range (A..B)");
+                };
+                cell_range = Some(parse_cell_range(v));
+            }
+            "--resume" => resume = true,
             "--list" => list = true,
             "--quiet" => quiet = true,
             "--stream" => stream = true,
@@ -113,6 +209,9 @@ fn main() {
     let Some(sweep_path) = sweep_path else {
         fail("no sweep file given");
     };
+    if shard.is_some() && cell_range.is_some() {
+        fail("--shard and --cell-range are mutually exclusive");
+    }
 
     let text = std::fs::read_to_string(&sweep_path).unwrap_or_else(|e| {
         fail(&format!("cannot read {}: {e}", sweep_path.display()));
@@ -125,6 +224,7 @@ fn main() {
     }
 
     if list {
+        let replicates = sweep.seeds.len().max(1);
         println!(
             "sweep `{}`: {} configurations × {} replicates = {} cells",
             sweep.name,
@@ -132,20 +232,52 @@ fn main() {
             sweep.seeds.len(),
             sweep.cell_count()
         );
-        for cell in sweep.expand() {
-            let label = cell_label(&cell.spec);
-            if filter.as_deref().is_some_and(|f| !label.contains(f)) {
-                continue;
+        let cells: Vec<green_scenarios::Cell> = match filter.as_deref().filter(|f| !f.is_empty()) {
+            None => match (&shard, &cell_range) {
+                // Without a filter the listing materializes only the
+                // assigned range — `--list --shard 3/512` of a
+                // million-cell grid answers instantly.
+                (Some(s), None) => {
+                    sweep.expand_range(s.cell_range(sweep.config_count(), replicates))
+                }
+                (None, Some(r)) => sweep
+                    .expand_range(r.start.min(sweep.cell_count())..r.end.min(sweep.cell_count())),
+                _ => sweep.expand(),
+            },
+            Some(f) => {
+                let filtered: Vec<green_scenarios::Cell> = sweep
+                    .expand()
+                    .into_iter()
+                    .filter(|c| cell_label(&c.spec).contains(f))
+                    .collect();
+                let range = match (&shard, &cell_range) {
+                    (Some(s), None) => s.cell_range(filtered.len() / replicates, replicates),
+                    (None, Some(r)) => r.start.min(filtered.len())..r.end.min(filtered.len()),
+                    _ => 0..filtered.len(),
+                };
+                filtered[range].to_vec()
             }
-            println!("  [{:>4}] {label} seed={}", cell.index, cell.spec.seed);
+        };
+        for cell in cells {
+            println!(
+                "  [{:>4}] {} seed={}",
+                cell.index,
+                cell_label(&cell.spec),
+                cell.spec.seed
+            );
         }
         return;
     }
 
     let runner = SweepRunner::new(threads);
     if !quiet {
+        let slice = match (&shard, &cell_range) {
+            (Some(s), None) => format!(" (shard {}/{})", s.index, s.of),
+            (None, Some(r)) => format!(" (cells {}..{})", r.start, r.end),
+            _ => String::new(),
+        };
         eprintln!(
-            "running sweep `{}`: {} cells on {} threads{}…",
+            "running sweep `{}`: {} cells on {} threads{slice}{}…",
             sweep.name,
             sweep.cell_count(),
             runner.threads(),
@@ -168,6 +300,50 @@ fn main() {
             eprintln!("  {done}/{total} cells");
         }
     };
+    // The sharded/checkpointed path: a worker of an N-way split, an
+    // explicit cell range, or a resumable whole-grid run. Always
+    // streamed (constant memory is the point at this scale) and always
+    // checkpointed through the `<out>.manifest` sidecar.
+    if shard.is_some() || cell_range.is_some() || resume {
+        let Some(out) = out else {
+            fail("--shard/--cell-range/--resume need --out <file.csv>");
+        };
+        let assignment = match (&shard, &cell_range) {
+            (Some(s), None) => ShardAssignment::Shard(*s),
+            (None, Some(r)) => ShardAssignment::Cells(r.clone()),
+            _ => ShardAssignment::Whole,
+        };
+        let job = ShardJob {
+            sweep: &sweep,
+            filter: filter.as_deref(),
+            assignment,
+            csv: &out,
+            resume,
+            checkpoint_every: CHECKPOINT_EVERY,
+        };
+        let outcome = run_shard(&runner, &job, if quiet { None } else { Some(&progress) })
+            .unwrap_or_else(|e| {
+                eprintln!("error: shard: {e}");
+                std::process::exit(1);
+            });
+        if !quiet {
+            let resumed = if outcome.resumed_rows > 0 {
+                format!(" ({} rows resumed from checkpoint)", outcome.resumed_rows)
+            } else {
+                String::new()
+            };
+            eprintln!(
+                "shard: cells {}..{} of {} complete — {} rows in {}{resumed}",
+                outcome.range.start,
+                outcome.range.end,
+                outcome.total_cells,
+                outcome.resumed_rows + outcome.written_rows,
+                out.display(),
+            );
+        }
+        return;
+    }
+
     if stream {
         let Some(out) = out else {
             fail("--stream needs --out <file.csv> to stream into");

@@ -29,6 +29,14 @@
 //!   configurations complete — byte-identical to the in-memory path
 //!   (asserted by `tests/streaming_golden.rs`) without ever holding the
 //!   grid in memory;
+//! * [`shard`] — million-cell grids across processes: a deterministic
+//!   configuration-aligned cell-range partitioner ([`Shard`]),
+//!   checkpointed per-shard CSV output with a content-hashed
+//!   [`ShardManifest`] and kill-safe resume ([`run_shard`]), and a
+//!   [`merge_shards`] that reassembles shard outputs into bytes
+//!   identical to the single-process streamed run (asserted by
+//!   `tests/shard_golden.rs`). [`Sweep::cell_at`] decodes any expansion
+//!   index directly, so a worker never materializes the grid;
 //! * [`Aggregate`]/[`SweepResults`] — per-cell mean, standard deviation
 //!   and 95 % confidence intervals over replicates for carbon, credits,
 //!   energy, wait and utilization, exported through `green-bench`'s CSV
@@ -56,6 +64,7 @@
 
 pub mod agg;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 pub mod sweep;
 pub mod toml;
@@ -64,6 +73,10 @@ pub use agg::{Aggregate, CellSummary, SweepResults, CSV_HEADERS};
 pub use runner::{
     cell_label, CellMetrics, FleetSlice, RunStats, StreamSummary, SweepCaches, SweepRunner,
     SweepWorld,
+};
+pub use shard::{
+    manifest_path, merge_shards, run_shard, shard_ranges, MergeSummary, Shard, ShardAssignment,
+    ShardJob, ShardManifest, ShardOutcome, CHECKPOINT_EVERY,
 };
 pub use spec::{fleet_index, MethodSpec, PolicySpec, ScenarioSpec, SpecError};
 pub use sweep::{Cell, Sweep, WorkloadConfig, WorkloadPreset};

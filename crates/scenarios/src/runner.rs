@@ -561,9 +561,35 @@ fn dedup_by<T: PartialEq>(cells: &[Cell], f: impl Fn(&Cell) -> T) -> Vec<T> {
     values
 }
 
+/// Validates a shard/cell range against the grid it indexes: in bounds,
+/// ascending, and aligned to replicate groups (a configuration's
+/// replicates must never straddle two workers — its CSV row aggregates
+/// all of them).
+pub(crate) fn check_range(
+    range: &std::ops::Range<usize>,
+    cells: usize,
+    replicates: usize,
+) -> std::io::Result<()> {
+    let bad = |message: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, message);
+    if range.start > range.end || range.end > cells {
+        return Err(bad(format!(
+            "cell range {}..{} outside the grid's {cells} cells",
+            range.start, range.end
+        )));
+    }
+    if !range.start.is_multiple_of(replicates) || !range.end.is_multiple_of(replicates) {
+        return Err(bad(format!(
+            "cell range {}..{} is not aligned to replicate groups of {replicates} \
+             (configuration boundaries fall on multiples of the seed count)",
+            range.start, range.end
+        )));
+    }
+    Ok(())
+}
+
 /// Keeps only the cells of configurations whose label matches `filter`
 /// (case-sensitive substring; `None`/empty keeps everything).
-fn filter_cells(cells: Vec<Cell>, filter: Option<&str>) -> Vec<Cell> {
+pub(crate) fn filter_cells(cells: Vec<Cell>, filter: Option<&str>) -> Vec<Cell> {
     let Some(filter) = filter.filter(|f| !f.is_empty()) else {
         return cells;
     };
@@ -696,16 +722,82 @@ impl SweepRunner {
         progress: Option<&ProgressFn>,
         out: &mut W,
     ) -> std::io::Result<StreamSummary> {
-        let (world, cells, caches) = self.prepare(sweep, filter);
-        let n = cells.len();
+        self.run_streamed_range(sweep, filter, None, true, progress, out)
+    }
+
+    /// [`run_streamed`](SweepRunner::run_streamed) restricted to a
+    /// contiguous cell `range` of the (filtered) expansion order — the
+    /// shard worker's execution primitive. The range must be aligned to
+    /// replicate groups (CSV rows are per configuration) and inside the
+    /// grid; world build, caches, and memory are all proportional to the
+    /// range, not the grid, so a worker of a million-cell sweep only
+    /// pays for its own slice. With `write_header = false` the header
+    /// row is left to the caller (shard workers write it through their
+    /// checkpointing writer).
+    ///
+    /// The rows streamed for `range` are byte-identical to the
+    /// corresponding slice of a full single-process run — the guarantee
+    /// `scenarios merge` builds on (`tests/shard_golden.rs`).
+    pub fn run_streamed_range<W: Write + Send>(
+        &self,
+        sweep: &Sweep,
+        filter: Option<&str>,
+        range: Option<std::ops::Range<usize>>,
+        write_header: bool,
+        progress: Option<&ProgressFn>,
+        out: &mut W,
+    ) -> std::io::Result<StreamSummary> {
         let replicates = sweep.seeds.len().max(1);
+        let cells: Vec<Cell> = match (filter.filter(|f| !f.is_empty()), &range) {
+            // No filter: the range indexes the raw expansion order, so
+            // only the assigned cells are ever materialized.
+            (None, Some(range)) => {
+                check_range(range, sweep.cell_count(), replicates)?;
+                sweep.expand_range(range.clone())
+            }
+            (None, None) => sweep.expand(),
+            // A filter re-indexes the grid: ranges address the filtered
+            // expansion order (every worker derives the identical list).
+            (Some(filter), range) => {
+                let filtered = filter_cells(sweep.expand(), Some(filter));
+                match range {
+                    Some(range) => {
+                        check_range(range, filtered.len(), replicates)?;
+                        filtered[range.clone()].to_vec()
+                    }
+                    None => filtered,
+                }
+            }
+        };
+        self.run_streamed_cells(sweep, cells, write_header, progress, out)
+    }
+
+    /// The streaming engine over an already-resolved cell list —
+    /// [`run_streamed_range`](SweepRunner::run_streamed_range) after
+    /// expansion/filtering/slicing. Crate-internal so `shard::run_shard`
+    /// can resolve its filtered assignment exactly once instead of
+    /// re-expanding the grid per invocation.
+    pub(crate) fn run_streamed_cells<W: Write + Send>(
+        &self,
+        sweep: &Sweep,
+        cells: Vec<Cell>,
+        write_header: bool,
+        progress: Option<&ProgressFn>,
+        out: &mut W,
+    ) -> std::io::Result<StreamSummary> {
+        sweep.validate().expect("invalid sweep");
+        let replicates = sweep.seeds.len().max(1);
+        let (world, caches) = self.prepare_cells(sweep, &cells);
+        let n = cells.len();
         // Write *and flush* the header before any cell runs: a consumer
         // tailing the stream (or a test asserting liveness) must see the
         // first bytes immediately, not after the writer's buffer fills
         // with row data — large grids used to sit silent for the whole
         // first buffer's worth of configurations.
-        out.write_all(green_bench::export::csv_line(&CSV_HEADERS).as_bytes())?;
-        out.flush()?;
+        if write_header {
+            out.write_all(green_bench::export::csv_line(&CSV_HEADERS).as_bytes())?;
+            out.flush()?;
+        }
 
         let events = AtomicU64::new(0);
         let release_work = AtomicU64::new(0);
@@ -743,18 +835,24 @@ impl SweepRunner {
     fn prepare(&self, sweep: &Sweep, filter: Option<&str>) -> (SweepWorld, Vec<Cell>, SweepCaches) {
         sweep.validate().expect("invalid sweep");
         let cells = filter_cells(sweep.expand(), filter);
-        // Build only the world slices the surviving cells reach — the
-        // point of `--filter` is fast iteration, so a one-cell filter
-        // must not pay for every population/scale/fleet of the full
-        // grid. The retained variants are bit-identical to the ones the
-        // unfiltered sweep would build (same seeds, same dedup).
-        let mut needed = sweep.clone();
-        needed.users = dedup_by(&cells, |c| c.spec.users);
-        needed.workload_scales = dedup_by(&cells, |c| c.spec.workload_scale);
-        needed.fleets = dedup_by(&cells, |c| c.spec.fleet.clone());
-        let world = SweepWorld::build(&needed);
-        let caches = SweepCaches::build(&world, &cells, self.threads);
+        let (world, caches) = self.prepare_cells(sweep, &cells);
         (world, cells, caches)
+    }
+
+    /// Builds the shared world + caches for exactly `cells` — the
+    /// filtered, range-restricted set that will actually run. The point
+    /// of `--filter` (and of shard ranges) is that a narrow run must not
+    /// pay for every population/scale/fleet of the full grid; the
+    /// retained variants are bit-identical to the ones the full sweep
+    /// would build (same seeds, same dedup).
+    fn prepare_cells(&self, sweep: &Sweep, cells: &[Cell]) -> (SweepWorld, SweepCaches) {
+        let mut needed = sweep.clone();
+        needed.users = dedup_by(cells, |c| c.spec.users);
+        needed.workload_scales = dedup_by(cells, |c| c.spec.workload_scale);
+        needed.fleets = dedup_by(cells, |c| c.spec.fleet.clone());
+        let world = SweepWorld::build(&needed);
+        let caches = SweepCaches::build(&world, cells, self.threads);
+        (world, caches)
     }
 
     fn stats_of(

@@ -1,0 +1,741 @@
+//! Sharded, resumable sweep execution: the distributed-fan-out
+//! foundation.
+//!
+//! A sweep's expansion order is already the engine's determinism anchor
+//! — so splitting a grid across processes is a matter of handing each
+//! worker a **contiguous, configuration-aligned cell range** and making
+//! the per-shard output mergeable back into the bytes a single
+//! `--stream` run would have produced:
+//!
+//! * [`Shard`]`{ index, of }` → [`Shard::cell_range`]: a deterministic
+//!   partitioner. Configurations (not raw cells) are balanced across
+//!   shards so a replicate group never straddles two workers — CSV rows
+//!   are per configuration, and splitting one would make byte-stable
+//!   merging impossible. `tests/sweep_properties.rs` proves the ranges
+//!   are a disjoint exact cover of `0..cells` for any shard count.
+//! * [`run_shard`]: streams one range's rows into a CSV file while
+//!   checkpointing a [`ShardManifest`] (rows, bytes, FNV-1a content
+//!   hash) alongside it. A killed worker re-run with `resume = true`
+//!   replays the manifest: verify the checkpointed prefix hash,
+//!   truncate any torn tail, and continue from the first unwritten
+//!   configuration — the final bytes are identical to an uninterrupted
+//!   run (`tests/shard_golden.rs`).
+//! * [`merge_shards`]: concatenates completed shard CSVs (hash-verified
+//!   against their manifests, ranges verified contiguous) into output
+//!   **byte-identical** to the single-process streamed run.
+//!
+//! Once ranges and merge are byte-stable, multi-process is just N
+//! invocations of `scenarios --shard I/N` plus one `scenarios merge`.
+
+use std::io::{Read, Seek, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::agg::CSV_HEADERS;
+use crate::runner::{ProgressFn, StreamSummary, SweepRunner};
+use crate::spec::SpecError;
+use crate::sweep::Sweep;
+use crate::toml::{self, Value};
+
+/// One worker's identity in an N-way split: shard `index` of `of`
+/// (0-based, `index < of`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This worker's position, `0..of`.
+    pub index: usize,
+    /// Total number of shards.
+    pub of: usize,
+}
+
+impl Shard {
+    /// Parses the CLI spelling `I/N` (0-based, `I < N`).
+    pub fn parse(token: &str) -> Result<Shard, SpecError> {
+        let err = || {
+            SpecError(format!(
+                "bad shard `{token}` (expected I/N with 0 <= I < N, e.g. `2/8`)"
+            ))
+        };
+        let (i, n) = token.split_once('/').ok_or_else(err)?;
+        let index: usize = i.trim().parse().map_err(|_| err())?;
+        let of: usize = n.trim().parse().map_err(|_| err())?;
+        if of == 0 || index >= of {
+            return Err(err());
+        }
+        Ok(Shard { index, of })
+    }
+
+    /// This shard's cell range over a grid of `configs` configurations ×
+    /// `replicates` seeds: contiguous in expansion order, aligned to
+    /// configuration boundaries, balanced to within one configuration.
+    pub fn cell_range(&self, configs: usize, replicates: usize) -> Range<usize> {
+        let base = configs / self.of;
+        let extra = configs % self.of;
+        // The first `extra` shards take one extra configuration each.
+        let start = self.index * base + self.index.min(extra);
+        let len = base + usize::from(self.index < extra);
+        let replicates = replicates.max(1);
+        (start * replicates)..((start + len) * replicates)
+    }
+}
+
+/// Every shard's cell range for an N-way split, in shard order. The
+/// ranges tile `0..configs*replicates` exactly (disjoint cover,
+/// ascending).
+pub fn shard_ranges(configs: usize, replicates: usize, shards: usize) -> Vec<Range<usize>> {
+    (0..shards)
+        .map(|index| Shard { index, of: shards }.cell_range(configs, replicates))
+        .collect()
+}
+
+/// Streaming FNV-1a (64-bit) — the manifest's content hash. Chosen for
+/// being dependency-free and byte-order stable; this is an integrity
+/// check against torn writes and stale files, not a cryptographic seal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(pub u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// Absorbs `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// One-shot hash of `bytes`.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::default();
+        h.update(bytes);
+        h.0
+    }
+}
+
+/// The sidecar a shard worker maintains next to its CSV
+/// (`<out>.manifest`): identity of the assigned range plus a progress
+/// checkpoint over the bytes already safely written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Sweep name (from the sweep file) — a merge of shards from
+    /// different sweeps is refused.
+    pub sweep: String,
+    /// Human-readable worker label (`"2/8"`, or `"cells:A..B"` for an
+    /// explicit `--cell-range`).
+    pub shard: String,
+    /// FNV-1a fingerprint of the fully-resolved sweep (every axis
+    /// value, preset, workload seed) plus the filter. Resume refuses a
+    /// checkpoint whose fingerprint differs — the same sweep file run
+    /// with a different `--preset` or `--filter` is a different grid —
+    /// and merge refuses to mix fingerprints.
+    pub spec_hash: u64,
+    /// The assigned cell range (expansion order, config-aligned).
+    pub cells: Range<usize>,
+    /// Total cells of the (possibly filtered) grid — lets `merge` verify
+    /// it was handed *every* shard, not just a contiguous prefix.
+    pub total_cells: usize,
+    /// Replicates per configuration (CSV rows aggregate over these).
+    pub replicates: usize,
+    /// Configuration rows checkpointed as written.
+    pub rows: usize,
+    /// CSV bytes (header included) covered by the checkpoint.
+    pub bytes: u64,
+    /// FNV-1a hash of those bytes.
+    pub hash: u64,
+    /// True once the shard finished its whole range.
+    pub complete: bool,
+}
+
+/// The manifest sidecar path of a shard CSV: `<csv>.manifest`.
+pub fn manifest_path(csv: &Path) -> PathBuf {
+    let mut name = csv.file_name().unwrap_or_default().to_os_string();
+    name.push(".manifest");
+    csv.with_file_name(name)
+}
+
+/// Manifest format version tag (first key of the file).
+const MANIFEST_VERSION: i64 = 1;
+
+impl core::fmt::Display for ShardManifest {
+    /// The manifest sidecar text (a flat TOML document the vendored
+    /// mini-parser round-trips).
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "# green-scenarios shard manifest — do not edit while a worker runs\n\
+             manifest_version = {MANIFEST_VERSION}\n\
+             sweep = \"{}\"\n\
+             shard = \"{}\"\n\
+             spec_hash = \"{:016x}\"\n\
+             cells = \"{}..{}\"\n\
+             total_cells = {}\n\
+             replicates = {}\n\
+             rows = {}\n\
+             bytes = {}\n\
+             hash = \"{:016x}\"\n\
+             complete = {}\n",
+            self.sweep,
+            self.shard,
+            self.spec_hash,
+            self.cells.start,
+            self.cells.end,
+            self.total_cells,
+            self.replicates,
+            self.rows,
+            self.bytes,
+            self.hash,
+            self.complete,
+        )
+    }
+}
+
+impl ShardManifest {
+    /// Parses a manifest previously rendered via [`core::fmt::Display`]
+    /// (`manifest.to_string()`).
+    pub fn parse(text: &str) -> Result<ShardManifest, SpecError> {
+        let doc = toml::parse(text).map_err(|e| SpecError(format!("bad manifest: {e}")))?;
+        let root = doc
+            .get("")
+            .ok_or_else(|| SpecError("bad manifest: empty document".into()))?;
+        let int = |key: &str| -> Result<i64, SpecError> {
+            root.get(key)
+                .and_then(Value::as_int)
+                .ok_or_else(|| SpecError(format!("bad manifest: missing integer `{key}`")))
+        };
+        let string = |key: &str| -> Result<String, SpecError> {
+            root.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SpecError(format!("bad manifest: missing string `{key}`")))
+        };
+        let version = int("manifest_version")?;
+        if version != MANIFEST_VERSION {
+            return Err(SpecError(format!(
+                "unsupported manifest version {version} (this build reads {MANIFEST_VERSION})"
+            )));
+        }
+        let cells = string("cells")?;
+        let (start, end) = cells
+            .split_once("..")
+            .ok_or_else(|| SpecError("bad manifest: `cells` must be `A..B`".into()))?;
+        let range: Range<usize> = start
+            .parse()
+            .and_then(|s| end.parse().map(|e| s..e))
+            .map_err(|_| SpecError("bad manifest: `cells` must be `A..B`".into()))?;
+        let usize_of = |v: i64, key: &str| -> Result<usize, SpecError> {
+            usize::try_from(v).map_err(|_| SpecError(format!("bad manifest: `{key}` negative")))
+        };
+        let hex = |key: &str| -> Result<u64, SpecError> {
+            u64::from_str_radix(&string(key)?, 16)
+                .map_err(|_| SpecError(format!("bad manifest: `{key}` must be hex")))
+        };
+        let hash = hex("hash")?;
+        Ok(ShardManifest {
+            sweep: string("sweep")?,
+            shard: string("shard")?,
+            spec_hash: hex("spec_hash")?,
+            cells: range,
+            total_cells: usize_of(int("total_cells")?, "total_cells")?,
+            replicates: usize_of(int("replicates")?, "replicates")?,
+            rows: usize_of(int("rows")?, "rows")?,
+            bytes: int("bytes")? as u64,
+            hash,
+            complete: root
+                .get("complete")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| SpecError("bad manifest: missing boolean `complete`".into()))?,
+        })
+    }
+
+    /// Loads the manifest sidecar of `csv`.
+    pub fn load(csv: &Path) -> std::io::Result<ShardManifest> {
+        let path = manifest_path(csv);
+        let text = std::fs::read_to_string(&path)?;
+        ShardManifest::parse(&text).map_err(|e| invalid(format!("{}: {e}", path.display())))
+    }
+
+    /// Writes the manifest sidecar of `csv` atomically (temp file +
+    /// rename), so a kill mid-checkpoint leaves the previous checkpoint
+    /// intact rather than a torn sidecar.
+    pub fn store(&self, csv: &Path) -> std::io::Result<()> {
+        let path = manifest_path(csv);
+        let tmp = path.with_extension("manifest.tmp");
+        std::fs::write(&tmp, self.to_string())?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+fn invalid(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+/// Configuration rows between manifest checkpoints. A kill loses at most
+/// this many rows of work (the CSV may hold rows past the checkpoint;
+/// resume truncates back to the last one). Checkpointing is an atomic
+/// sidecar rewrite, so the interval trades re-done work against fsync
+/// traffic on million-cell grids.
+pub const CHECKPOINT_EVERY: usize = 64;
+
+/// Which slice of the (filtered) grid a worker runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardAssignment {
+    /// Shard I of an N-way split (`--shard I/N`).
+    Shard(Shard),
+    /// An explicit config-aligned cell range (`--cell-range A..B`).
+    Cells(Range<usize>),
+    /// The whole grid — a checkpointed/resumable full run (`--resume`
+    /// without `--shard`).
+    Whole,
+}
+
+/// One shard-worker invocation: the sweep, the assignment, and where
+/// the CSV + manifest land. The assignment is resolved to a concrete
+/// cell range (and the filter applied) exactly once inside
+/// [`run_shard`].
+pub struct ShardJob<'a> {
+    /// The parsed (and preset-overridden) sweep.
+    pub sweep: &'a Sweep,
+    /// Optional configuration-label filter (applied before partitioning,
+    /// exactly as a single-process `--filter --stream` run would).
+    pub filter: Option<&'a str>,
+    /// The slice of the grid this worker owns.
+    pub assignment: ShardAssignment,
+    /// The shard CSV path.
+    pub csv: &'a Path,
+    /// Resume from the manifest checkpoint instead of starting fresh.
+    pub resume: bool,
+    /// Rows between checkpoints ([`CHECKPOINT_EVERY`] for the CLI).
+    pub checkpoint_every: usize,
+}
+
+/// What [`run_shard`] reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// The resolved cell range this worker owned.
+    pub range: Range<usize>,
+    /// Total cells of the (filtered) grid the range indexes.
+    pub total_cells: usize,
+    /// Rows found already checkpointed on disk (0 on a fresh run).
+    pub resumed_rows: usize,
+    /// Rows written by this invocation.
+    pub written_rows: usize,
+    /// Work counters of the cells executed now (`None` when the shard
+    /// was already complete).
+    pub summary: Option<StreamSummary>,
+}
+
+/// A [`Write`] sink that mirrors every row into the running byte count /
+/// FNV hash and checkpoints the manifest every `checkpoint_every` rows.
+/// The streaming sink issues exactly one `write` per CSV row (and
+/// `write` here always consumes the whole buffer), so rows can be
+/// counted at the write boundary.
+struct ShardWriter<'a> {
+    file: std::fs::File,
+    csv: &'a Path,
+    manifest: ShardManifest,
+    hash: Fnv1a,
+    since_checkpoint: usize,
+    checkpoint_every: usize,
+}
+
+impl ShardWriter<'_> {
+    /// Absorbs non-row bytes (the header) into the checkpoint state.
+    fn absorb_header(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.hash.update(bytes);
+        self.manifest.bytes += bytes.len() as u64;
+        self.manifest.hash = self.hash.0;
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.manifest.hash = self.hash.0;
+        self.manifest.store(self.csv)?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+impl Write for ShardWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.file.write_all(buf)?;
+        self.hash.update(buf);
+        self.manifest.bytes += buf.len() as u64;
+        self.manifest.rows += 1;
+        self.since_checkpoint += 1;
+        if self.since_checkpoint >= self.checkpoint_every.max(1) {
+            self.checkpoint()?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+}
+
+/// Runs one shard of a sweep: streams the assigned range's rows into
+/// `job.csv`, checkpointing the manifest as it goes. With `job.resume`,
+/// a previous (possibly killed) invocation's checkpoint is verified and
+/// extended instead of restarted — the resulting file is byte-identical
+/// to an uninterrupted run either way.
+pub fn run_shard(
+    runner: &SweepRunner,
+    job: &ShardJob<'_>,
+    progress: Option<&ProgressFn>,
+) -> std::io::Result<ShardOutcome> {
+    let replicates = job.sweep.seeds.len().max(1);
+    // Resolve the filtered grid and the assignment exactly once: the
+    // filter expansion is the expensive part on survey-scale grids, and
+    // every later step (range check, manifest, execution) reads the
+    // same resolution.
+    let filter = job.filter.filter(|f| !f.is_empty());
+    let filtered: Option<Vec<crate::sweep::Cell>> =
+        filter.map(|f| crate::runner::filter_cells(job.sweep.expand(), Some(f)));
+    let total_cells = filtered
+        .as_ref()
+        .map_or_else(|| job.sweep.cell_count(), Vec::len);
+    let configs = total_cells / replicates;
+    let (range, label) = match &job.assignment {
+        ShardAssignment::Shard(shard) => (
+            shard.cell_range(configs, replicates),
+            format!("{}/{}", shard.index, shard.of),
+        ),
+        ShardAssignment::Cells(range) => {
+            crate::runner::check_range(range, total_cells, replicates)?;
+            (
+                range.clone(),
+                format!("cells:{}..{}", range.start, range.end),
+            )
+        }
+        ShardAssignment::Whole => (0..total_cells, "0/1".to_string()),
+    };
+    let expected_rows = (range.end - range.start) / replicates;
+    // Fingerprint of the fully-resolved workload: every axis value, the
+    // preset (post `--preset` override), the workload seed, and the
+    // filter. A checkpoint taken under a different resolution must not
+    // be extended — the bytes would belong to two different grids.
+    let spec_hash = {
+        let mut h = Fnv1a::default();
+        h.update(format!("{:?}", job.sweep).as_bytes());
+        h.update(b"|filter:");
+        h.update(filter.unwrap_or("").as_bytes());
+        h.0
+    };
+
+    let header = green_bench::export::csv_line(&CSV_HEADERS);
+    let fresh_manifest = || ShardManifest {
+        sweep: job.sweep.name.clone(),
+        shard: label.clone(),
+        spec_hash,
+        cells: range.clone(),
+        total_cells,
+        replicates,
+        rows: 0,
+        bytes: 0,
+        hash: Fnv1a::default().0,
+        complete: false,
+    };
+
+    let manifest_exists = manifest_path(job.csv).exists();
+    let (file, manifest, hash) = if job.resume && manifest_exists {
+        let manifest = ShardManifest::load(job.csv)?;
+        let reference = fresh_manifest();
+        if manifest.sweep != reference.sweep
+            || manifest.spec_hash != reference.spec_hash
+            || manifest.cells != reference.cells
+            || manifest.total_cells != reference.total_cells
+            || manifest.replicates != reference.replicates
+        {
+            return Err(invalid(format!(
+                "{}: checkpoint belongs to sweep `{}` (spec {:016x}) cells {}..{} of {} — \
+                 refusing to resume a different assignment or a sweep resolved with a \
+                 different preset/filter/axes (delete the shard output to start over)",
+                manifest_path(job.csv).display(),
+                manifest.sweep,
+                manifest.spec_hash,
+                manifest.cells.start,
+                manifest.cells.end,
+                manifest.total_cells,
+            )));
+        }
+        // Verify the checkpointed prefix byte-for-byte, then drop any
+        // torn tail the kill left past the checkpoint.
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(job.csv)?;
+        let mut prefix = vec![0u8; manifest.bytes as usize];
+        file.read_exact(&mut prefix).map_err(|_| {
+            invalid(format!(
+                "{}: shorter than its checkpoint ({} bytes) — the output was modified; \
+                 delete it to start over",
+                job.csv.display(),
+                manifest.bytes
+            ))
+        })?;
+        let mut running = Fnv1a::default();
+        running.update(&prefix);
+        if running.0 != manifest.hash {
+            return Err(invalid(format!(
+                "{}: checkpointed prefix hash mismatch — the output was modified; \
+                 delete it to start over",
+                job.csv.display()
+            )));
+        }
+        file.set_len(manifest.bytes)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        if manifest.complete {
+            // Nothing to do — idempotent re-invocation after success.
+            return Ok(ShardOutcome {
+                range,
+                total_cells,
+                resumed_rows: manifest.rows,
+                written_rows: 0,
+                summary: None,
+            });
+        }
+        (file, manifest, running)
+    } else {
+        (
+            std::fs::File::create(job.csv)?,
+            fresh_manifest(),
+            Fnv1a::default(),
+        )
+    };
+
+    let resumed_rows = manifest.rows;
+    let mut writer = ShardWriter {
+        file,
+        csv: job.csv,
+        manifest,
+        hash,
+        since_checkpoint: 0,
+        checkpoint_every: job.checkpoint_every,
+    };
+    if resumed_rows == 0 && writer.manifest.bytes == 0 {
+        // Every shard file carries the header — including a worker whose
+        // assigned range is empty, so `merge` never sees a headerless
+        // file (the same contract `run_streamed` keeps for zero-cell
+        // sweeps).
+        writer.absorb_header(header.as_bytes())?;
+    }
+    writer.checkpoint()?;
+
+    // Skip the configurations the checkpoint already covers: their rows
+    // are on disk, verified. Determinism makes re-running the remainder
+    // produce exactly the bytes the uninterrupted run would have.
+    let start = range.start + resumed_rows * replicates;
+    let cells = match &filtered {
+        Some(filtered) => filtered[start..range.end].to_vec(),
+        None => job.sweep.expand_range(start..range.end),
+    };
+    let summary = runner.run_streamed_cells(job.sweep, cells, false, progress, &mut writer)?;
+    debug_assert_eq!(resumed_rows + summary.configs, writer.manifest.rows);
+    if writer.manifest.rows != expected_rows {
+        return Err(invalid(format!(
+            "shard wrote {} rows, expected {expected_rows}",
+            writer.manifest.rows
+        )));
+    }
+    writer.manifest.complete = true;
+    writer.checkpoint()?;
+    Ok(ShardOutcome {
+        range,
+        total_cells,
+        resumed_rows,
+        written_rows: summary.configs,
+        summary: Some(summary),
+    })
+}
+
+/// What [`merge_shards`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Shard files merged.
+    pub shards: usize,
+    /// Total configuration rows in the merged CSV.
+    pub rows: usize,
+    /// Total bytes written.
+    pub bytes: u64,
+}
+
+/// Merges completed shard CSVs into `out`: manifests are loaded and
+/// verified (same sweep, same grid, every shard complete, content hash
+/// intact), ranges are ordered and checked for exact contiguous tiling,
+/// and bodies are concatenated under a single header — byte-identical
+/// to the single-process `--stream` run over the union range.
+///
+/// `partial = false` additionally requires the union to cover the whole
+/// grid (`0..total_cells`); `partial = true` accepts any contiguous
+/// sub-span (merging two adjacent shards of a bigger split).
+pub fn merge_shards(
+    inputs: &[PathBuf],
+    out: &Path,
+    partial: bool,
+) -> std::io::Result<MergeSummary> {
+    if inputs.is_empty() {
+        return Err(invalid("no shard files to merge"));
+    }
+    let mut shards: Vec<(ShardManifest, &PathBuf)> = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let manifest = ShardManifest::load(path)?;
+        if !manifest.complete {
+            return Err(invalid(format!(
+                "{}: shard incomplete ({} rows checkpointed, cells {}..{}) — finish it with \
+                 --resume before merging",
+                path.display(),
+                manifest.rows,
+                manifest.cells.start,
+                manifest.cells.end
+            )));
+        }
+        shards.push((manifest, path));
+    }
+    shards.sort_by_key(|(m, _)| m.cells.start);
+
+    let (first, _) = &shards[0];
+    let (sweep, spec, total, replicates) = (
+        first.sweep.clone(),
+        first.spec_hash,
+        first.total_cells,
+        first.replicates,
+    );
+    for (m, path) in &shards {
+        if m.sweep != sweep
+            || m.spec_hash != spec
+            || m.total_cells != total
+            || m.replicates != replicates
+        {
+            return Err(invalid(format!(
+                "{}: shard belongs to a different run (sweep `{}`, spec {:016x}, {} cells, \
+                 {} replicates; expected `{sweep}`, {spec:016x}, {total}, {replicates}) — \
+                 shards must come from one sweep resolved with one preset/filter",
+                path.display(),
+                m.sweep,
+                m.spec_hash,
+                m.total_cells,
+                m.replicates
+            )));
+        }
+    }
+    let mut expected = shards[0].0.cells.start;
+    if !partial && expected != 0 {
+        return Err(invalid(format!(
+            "shards start at cell {expected}, not 0 — pass every shard (or merge --partial \
+             for a contiguous sub-span)"
+        )));
+    }
+    for (m, path) in &shards {
+        if m.cells.start != expected {
+            return Err(invalid(format!(
+                "{}: covers cells {}..{} but the merge needs {expected} next — shards must \
+                 tile the grid contiguously (missing or duplicate shard?)",
+                path.display(),
+                m.cells.start,
+                m.cells.end
+            )));
+        }
+        expected = m.cells.end;
+    }
+    if !partial && expected != total {
+        return Err(invalid(format!(
+            "shards cover cells 0..{expected} of {total} — missing the tail shard(s)"
+        )));
+    }
+
+    let header = green_bench::export::csv_line(&CSV_HEADERS);
+    let mut writer = std::io::BufWriter::new(std::fs::File::create(out)?);
+    let mut summary = MergeSummary {
+        shards: shards.len(),
+        rows: 0,
+        bytes: 0,
+    };
+    for (i, (manifest, path)) in shards.iter().enumerate() {
+        let body = std::fs::read(path)?;
+        if body.len() as u64 != manifest.bytes || Fnv1a::hash(&body) != manifest.hash {
+            return Err(invalid(format!(
+                "{}: content does not match its manifest (got {} bytes, hash {:016x}; \
+                 manifest says {} bytes, {:016x}) — stale or corrupted shard output",
+                path.display(),
+                body.len(),
+                Fnv1a::hash(&body),
+                manifest.bytes,
+                manifest.hash
+            )));
+        }
+        if !body.starts_with(header.as_bytes()) {
+            return Err(invalid(format!(
+                "{}: does not start with the aggregate CSV header",
+                path.display()
+            )));
+        }
+        let emit = if i == 0 {
+            &body[..]
+        } else {
+            &body[header.len()..]
+        };
+        writer.write_all(emit)?;
+        summary.rows += manifest.rows;
+        summary.bytes += emit.len() as u64;
+    }
+    writer.flush()?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parse_accepts_valid_and_rejects_bad() {
+        assert_eq!(Shard::parse("2/8").unwrap(), Shard { index: 2, of: 8 });
+        assert_eq!(Shard::parse("0/1").unwrap(), Shard { index: 0, of: 1 });
+        for bad in ["8/8", "3/0", "x/2", "2", "1/2/3", "-1/2"] {
+            assert!(Shard::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced_and_config_aligned() {
+        // 10 configs × 3 replicates over 4 shards: 3,3,2,2 configs.
+        let ranges = shard_ranges(10, 3, 4);
+        assert_eq!(ranges, vec![0..9, 9..18, 18..24, 24..30]);
+        // More shards than configs: trailing shards get empty ranges.
+        let ranges = shard_ranges(2, 2, 5);
+        assert_eq!(ranges, vec![0..2, 2..4, 4..4, 4..4, 4..4]);
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let manifest = ShardManifest {
+            sweep: "mega".into(),
+            shard: "2/8".into(),
+            spec_hash: 0x0123_4567_89ab_cdef,
+            cells: 120..180,
+            total_cells: 480,
+            replicates: 3,
+            rows: 7,
+            bytes: 1234,
+            hash: 0xdead_beef_cafe_f00d,
+            complete: false,
+        };
+        let parsed = ShardManifest::parse(&manifest.to_string()).unwrap();
+        assert_eq!(parsed, manifest);
+        assert!(ShardManifest::parse("rows = 3").is_err());
+        assert!(ShardManifest::parse("manifest_version = 99").is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Fnv1a::hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::hash(b"foobar"), 0x85944171f73967e8);
+    }
+}

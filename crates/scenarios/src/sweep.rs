@@ -9,6 +9,9 @@ use green_workload::TraceConfig;
 /// Workload presets mirroring `green_bench::SimScale`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadPreset {
+    /// ~100 jobs — sub-millisecond cells, the preset for survey-scale
+    /// (10⁵–10⁶-cell) grids where the grid itself is the workload.
+    Micro,
     /// ~3,000 jobs (after doubling) — CI-sized.
     Tiny,
     /// ~12,000 jobs — seconds per cell in release builds.
@@ -18,16 +21,17 @@ pub enum WorkloadPreset {
 }
 
 impl WorkloadPreset {
-    /// Parses a preset token (`tiny`/`small`, `quick`, `paper`/`full`) —
-    /// the grammar both sweep files and the `scenarios --preset` flag
-    /// use.
+    /// Parses a preset token (`micro`, `tiny`/`small`, `quick`,
+    /// `paper`/`full`) — the grammar both sweep files and the
+    /// `scenarios --preset` flag use.
     pub fn parse(token: &str) -> Result<Self, SpecError> {
         match token.trim().to_ascii_lowercase().as_str() {
+            "micro" => Ok(WorkloadPreset::Micro),
             "tiny" | "small" => Ok(WorkloadPreset::Tiny),
             "quick" => Ok(WorkloadPreset::Quick),
             "paper" | "full" => Ok(WorkloadPreset::Paper),
             _ => Err(SpecError(format!(
-                "unknown workload preset `{token}` (expected tiny|quick|paper)"
+                "unknown workload preset `{token}` (expected micro|tiny|quick|paper)"
             ))),
         }
     }
@@ -49,6 +53,13 @@ impl WorkloadConfig {
     /// The trace configuration this workload resolves to.
     pub fn trace_config(&self) -> TraceConfig {
         match self.preset {
+            WorkloadPreset::Micro => TraceConfig {
+                users: 8,
+                unique_jobs: 60,
+                duration: TimeSpan::from_days(2.0),
+                max_runtime: TimeSpan::from_hours(8.0),
+                seed: self.seed,
+            },
             WorkloadPreset::Tiny => TraceConfig::small(self.seed),
             WorkloadPreset::Quick => TraceConfig {
                 users: 60,
@@ -65,6 +76,7 @@ impl WorkloadConfig {
     /// sweep `users`).
     pub fn default_users(&self) -> u32 {
         match self.preset {
+            WorkloadPreset::Micro => 8,
             WorkloadPreset::Tiny => 24,
             WorkloadPreset::Quick => 60,
             WorkloadPreset::Paper => 250,
@@ -305,6 +317,69 @@ impl Sweep {
             }
         }
         cells
+    }
+
+    /// The cell at `index` of the expansion order, decoded directly from
+    /// the mixed-radix digit string of the axes — O(1), no grid
+    /// materialization. Bit-identical to `expand()[index]`, which
+    /// `tests/sweep_properties.rs` pins over random grids: this is what
+    /// lets a shard worker of a million-cell sweep build only its own
+    /// cell range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= cell_count()`.
+    pub fn cell_at(&self, index: usize) -> Cell {
+        assert!(
+            index < self.cell_count(),
+            "cell index {index} out of range (grid has {} cells)",
+            self.cell_count()
+        );
+        // Decode innermost axis first — the mirror image of `expand`'s
+        // loop nesting (seeds innermost, policies outermost).
+        let mut i = index;
+        let mut digit = |len: usize| -> usize {
+            let d = i % len;
+            i /= len;
+            d
+        };
+        let seed = self.seeds[digit(self.seeds.len())];
+        let cap = self.banking_caps[digit(self.banking_caps.len())];
+        let schedule = self.price_schedules[digit(self.price_schedules.len())];
+        let elasticity = self.elasticities[digit(self.elasticities.len())];
+        let iscale = self.intensity_scales[digit(self.intensity_scales.len())];
+        let wscale = self.workload_scales[digit(self.workload_scales.len())];
+        let backfill = self.backfill_depths[digit(self.backfill_depths.len())];
+        let users = self.users[digit(self.users.len())];
+        let sim_year = self.sim_years[digit(self.sim_years.len())];
+        let fleet = &self.fleets[digit(self.fleets.len())];
+        let method = self.methods[digit(self.methods.len())];
+        let policy = self.policies[digit(self.policies.len())];
+        debug_assert_eq!(i, 0, "index fully consumed");
+        Cell {
+            index,
+            config: index / self.seeds.len(),
+            spec: ScenarioSpec::new(policy, method)
+                .with_fleet(fleet.clone())
+                .with_sim_year(sim_year)
+                .with_users(users)
+                .with_backfill_depth(backfill)
+                .with_workload_scale(wscale)
+                .with_intensity(iscale, self.intensity_jitter)
+                .with_market(elasticity, schedule, cap)
+                .with_seed(seed),
+        }
+    }
+
+    /// Expands only the cells in `range` (expansion-order indices,
+    /// half-open) — the shard worker's entry point. Memory and time are
+    /// O(range length) regardless of the grid's total size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range reaches past `cell_count()`.
+    pub fn expand_range(&self, range: core::ops::Range<usize>) -> Vec<Cell> {
+        range.map(|i| self.cell_at(i)).collect()
     }
 
     /// Parses a sweep from TOML text. See the repository README and

@@ -1,0 +1,154 @@
+//! End-to-end CLI exercise of the sharded workflow: the exact command
+//! sequence CI and operators run — N `scenarios --shard` invocations,
+//! a kill + `--resume`, and a `scenarios merge` — compared byte-for-byte
+//! against the single-process `--stream` run.
+
+use green_scenarios::shard::Fnv1a;
+use std::path::PathBuf;
+use std::process::Command;
+
+const SWEEP: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/sweeps/sensitivity.toml"
+);
+
+fn scenarios(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_scenarios"))
+        .args(args)
+        .output()
+        .expect("scenarios binary runs")
+}
+
+fn run_ok(args: &[&str]) {
+    let out = scenarios(args);
+    assert!(
+        out.status.success(),
+        "scenarios {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("green-cli-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, file: &str) -> String {
+        self.0.join(file).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn cli_shard_resume_merge_is_byte_identical() {
+    let scratch = Scratch::new("roundtrip");
+    let reference = scratch.path("reference.csv");
+    run_ok(&[SWEEP, "--stream", "--out", &reference, "--quiet"]);
+
+    // Three shard workers.
+    let shards: Vec<String> = (0..3)
+        .map(|i| {
+            let csv = scratch.path(&format!("shard_{i}.csv"));
+            run_ok(&[
+                SWEEP,
+                "--shard",
+                &format!("{i}/3"),
+                "--out",
+                &csv,
+                "--quiet",
+            ]);
+            csv
+        })
+        .collect();
+
+    // "Kill" worker 1: keep only its header in the CSV and reset the
+    // manifest to the header-only checkpoint every fresh worker writes
+    // first — exactly the state a SIGKILL right after startup leaves.
+    let body = std::fs::read_to_string(&shards[1]).unwrap();
+    let header_len = body.find('\n').unwrap() + 1;
+    std::fs::write(&shards[1], &body[..header_len]).unwrap();
+    let manifest_file = format!("{}.manifest", shards[1]);
+    let manifest = std::fs::read_to_string(&manifest_file).unwrap();
+    let manifest = manifest
+        .lines()
+        .map(|line| {
+            if line.starts_with("rows = ") {
+                "rows = 0".to_string()
+            } else if line.starts_with("bytes = ") {
+                format!("bytes = {header_len}")
+            } else if line.starts_with("hash = ") {
+                format!(
+                    "hash = \"{:016x}\"",
+                    Fnv1a::hash(&body.as_bytes()[..header_len])
+                )
+            } else if line.starts_with("complete = ") {
+                "complete = false".to_string()
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write(&manifest_file, manifest + "\n").unwrap();
+
+    // Resume the killed worker, then merge all three.
+    run_ok(&[
+        SWEEP, "--shard", "1/3", "--out", &shards[1], "--resume", "--quiet",
+    ]);
+    let merged = scratch.path("merged.csv");
+    run_ok(&[
+        "merge", "--out", &merged, &shards[0], &shards[1], &shards[2], "--quiet",
+    ]);
+    assert_eq!(
+        std::fs::read(&merged).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "CLI shard/resume/merge bytes diverged from the single-process stream"
+    );
+}
+
+#[test]
+fn cli_cell_range_matches_the_shard_partition() {
+    let scratch = Scratch::new("range");
+    let by_shard = scratch.path("by_shard.csv");
+    let by_range = scratch.path("by_range.csv");
+    // sensitivity.toml: 12 configs × 3 seeds = 36 cells; shard 1/3
+    // covers cells 12..24.
+    run_ok(&[SWEEP, "--shard", "1/3", "--out", &by_shard, "--quiet"]);
+    run_ok(&[
+        SWEEP,
+        "--cell-range",
+        "12..24",
+        "--out",
+        &by_range,
+        "--quiet",
+    ]);
+    assert_eq!(
+        std::fs::read(&by_shard).unwrap(),
+        std::fs::read(&by_range).unwrap()
+    );
+}
+
+#[test]
+fn cli_rejects_bad_shard_and_misaligned_range() {
+    let scratch = Scratch::new("badargs");
+    let out_csv = scratch.path("out.csv");
+    for args in [
+        vec![SWEEP, "--shard", "3/3", "--out", out_csv.as_str()],
+        vec![SWEEP, "--shard", "1of3", "--out", out_csv.as_str()],
+        vec![SWEEP, "--cell-range", "1..5", "--out", out_csv.as_str()],
+        vec![SWEEP, "--shard", "0/2"], // no --out
+    ] {
+        let out = scenarios(&args);
+        assert!(!out.status.success(), "scenarios {args:?} should fail");
+    }
+}

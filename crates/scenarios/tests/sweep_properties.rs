@@ -1,9 +1,11 @@
-//! Property tests for sweep expansion: the Cartesian cell count is exact
-//! and expansion enumerates each combination exactly once.
+//! Property tests for sweep expansion and sharding: the Cartesian cell
+//! count is exact, expansion enumerates each combination exactly once,
+//! random-access expansion ([`Sweep::cell_at`]) is pinned to the loop
+//! expansion, and shard ranges are a disjoint exact cover of the grid.
 
 use std::collections::HashSet;
 
-use green_scenarios::{MethodSpec, PolicySpec, Sweep};
+use green_scenarios::{shard_ranges, MethodSpec, PolicySpec, Sweep};
 use proptest::prelude::*;
 
 /// Builds a sweep with the given axis lengths (axis values distinct
@@ -82,6 +84,65 @@ proptest! {
             let key = format!("{:?}", cell.spec);
             prop_assert!(seen.insert(key), "duplicate cell at {}", i);
         }
+    }
+
+    /// Random-access expansion is bit-identical to the nested-loop
+    /// expansion: `cell_at(i) == expand()[i]` for every index, and
+    /// `expand_range` is the corresponding slice. This is the contract
+    /// that lets a shard worker of a million-cell grid materialize only
+    /// its own range.
+    #[test]
+    fn cell_at_matches_loop_expansion(
+        policies in 1usize..=4,
+        methods in 1usize..=3,
+        users in 1usize..=2,
+        years in 1usize..=2,
+        backfills in 1usize..=3,
+        wscales in 1usize..=2,
+        iscales in 1usize..=3,
+        seeds in 1usize..=3,
+    ) {
+        let sweep = sweep_with(
+            policies, methods, users, years, backfills, wscales, iscales, seeds,
+        );
+        let cells = sweep.expand();
+        for (i, cell) in cells.iter().enumerate() {
+            prop_assert_eq!(&sweep.cell_at(i), cell, "cell_at({}) diverged", i);
+        }
+        // An arbitrary interior range slices identically.
+        let (a, b) = (cells.len() / 3, cells.len() - cells.len() / 4);
+        prop_assert_eq!(sweep.expand_range(a..b).as_slice(), &cells[a..b]);
+        prop_assert!(sweep.expand_range(0..0).is_empty());
+    }
+
+    /// For any grid shape and any shard count, the shard ranges are a
+    /// disjoint exact cover of `0..cells` in expansion order: ascending,
+    /// contiguous, config-aligned, balanced to one configuration.
+    #[test]
+    fn shard_ranges_are_a_disjoint_exact_cover(
+        configs in 0usize..=200,
+        replicates in 1usize..=5,
+        shards in 1usize..=24,
+    ) {
+        let ranges = shard_ranges(configs, replicates, shards);
+        prop_assert_eq!(ranges.len(), shards);
+        let mut next = 0usize;
+        let mut sizes: Vec<usize> = Vec::new();
+        for range in &ranges {
+            // Contiguity: each range starts exactly where the previous
+            // ended — together they tile 0..cells with no gap or overlap.
+            prop_assert_eq!(range.start, next);
+            prop_assert!(range.start <= range.end);
+            prop_assert_eq!(range.start % replicates, 0, "start not config-aligned");
+            prop_assert_eq!(range.end % replicates, 0, "end not config-aligned");
+            sizes.push((range.end - range.start) / replicates);
+            next = range.end;
+        }
+        prop_assert_eq!(next, configs * replicates, "cover is not exact");
+        // Balance: no shard carries more than one configuration above
+        // any other.
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "unbalanced shards: {:?}", sizes);
     }
 
     /// Replicates of a configuration differ only in their seed.

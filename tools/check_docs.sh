@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Consistency check for the docs/ book and README: every repository
+# path the docs reference must exist, every CLI flag documented in
+# docs/cli.md must appear in a binary's source, and the README must
+# link the book. Run from the repository root (CI's `docs` step does).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+failures=0
+
+fail() {
+    echo "docs-check FAIL: $*" >&2
+    failures=$((failures + 1))
+}
+
+# 1. Referenced repository paths exist. Matches crates/..., examples/...,
+#    docs/..., tools/... tokens (trailing punctuation stripped).
+for doc in docs/*.md README.md; do
+    while IFS= read -r path; do
+        # Strip sentence punctuation the token regex may have swallowed.
+        while [[ "$path" == *. || "$path" == *- || "$path" == */ ]]; do
+            path="${path%?}"
+        done
+        [ -z "$path" ] && continue
+        if [ ! -e "$path" ]; then
+            fail "$doc references missing path: $path"
+        fi
+    done < <(grep -oE '(crates|examples|docs|tools)/[A-Za-z0-9_/.-]+' "$doc" | sort -u)
+done
+
+# 2. Every --flag documented in docs/cli.md exists in a binary's source.
+scenarios_src=crates/scenarios/src/bin/scenarios.rs
+green_perf_src=crates/integration/src/bin/green_perf.rs
+while IFS= read -r flag; do
+    if ! grep -qF -- "\"$flag\"" "$scenarios_src" "$green_perf_src"; then
+        fail "docs/cli.md documents $flag but neither binary parses it"
+    fi
+done < <(grep -oE '(^|[^A-Za-z0-9-])--[a-z][a-z-]+' docs/cli.md | grep -oE '\-\-[a-z][a-z-]+' | sort -u)
+
+# 3. Every [grid]/[workload] key documented in docs/sweep-format.md is a
+#    key the parser knows (the KNOWN table in sweep.rs), and vice versa —
+#    a new axis must be documented, a renamed one re-documented.
+sweep_src=crates/scenarios/src/sweep.rs
+known_keys=$(sed -n '/const KNOWN/,/^];/p' "$sweep_src" | grep -oE '"[a-z_]+"' | tr -d '"' \
+    | grep -vxE 'grid|workload' | sort -u)  # section names are not keys
+doc_keys=$(grep -oE '^\| `[a-z_]+` \|' docs/sweep-format.md | grep -oE '[a-z_]+' | sort -u)
+for key in $known_keys; do
+    if ! echo "$doc_keys" | grep -qx "$key"; then
+        fail "sweep key \`$key\` (sweep.rs KNOWN) is undocumented in docs/sweep-format.md"
+    fi
+done
+for key in $doc_keys; do
+    if ! echo "$known_keys" | grep -qx "$key"; then
+        fail "docs/sweep-format.md documents \`$key\` but sweep.rs does not parse it"
+    fi
+done
+
+# 4. The README links every page of the book.
+for page in docs/architecture.md docs/sweep-format.md docs/cli.md; do
+    if ! grep -q "$page" README.md; then
+        fail "README.md does not link $page"
+    fi
+done
+
+# 5. Workload presets stay in sync between parser and docs.
+for preset in micro tiny quick paper; do
+    if ! grep -q "\`$preset\`" docs/sweep-format.md; then
+        fail "preset \`$preset\` missing from docs/sweep-format.md"
+    fi
+done
+
+if [ "$failures" -gt 0 ]; then
+    echo "docs-check: $failures failure(s)" >&2
+    exit 1
+fi
+echo "docs-check: OK"
