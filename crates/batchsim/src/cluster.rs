@@ -83,6 +83,13 @@ pub struct Cluster {
     /// `earliest_fit` sort work) — a deterministic work counter the
     /// perf gate trends.
     pub release_work: u64,
+    /// Merge-frontier steps taken by scheduling passes (entries popped
+    /// off the ready-user merge heap) — the scheduler's unit of queue
+    /// work, reported as the `ready_user_merges` observability counter.
+    pub merge_work: u64,
+    /// Scheduling passes that got past the O(1) early exits (i.e.
+    /// actually merged sub-queues) — the `schedule_passes` counter.
+    pub schedule_passes: u64,
     /// Per-user FIFO sub-queues, indexed by user id.
     queues: Vec<VecDeque<Entry>>,
     /// Total queued jobs across all sub-queues.
@@ -128,6 +135,8 @@ impl Cluster {
             backfill_depth: DEFAULT_BACKFILL_DEPTH,
             min_grain: 1,
             release_work: 0,
+            merge_work: 0,
+            schedule_passes: 0,
             queues: Vec::new(),
             queue_len: 0,
             next_seq: 0,
@@ -155,6 +164,8 @@ impl Cluster {
         self.backfill_depth = DEFAULT_BACKFILL_DEPTH;
         self.min_grain = 1;
         self.release_work = 0;
+        self.merge_work = 0;
+        self.schedule_passes = 0;
         for q in &mut self.queues {
             q.clear();
         }
@@ -299,6 +310,7 @@ impl Cluster {
         if self.queue_len == 0 || self.free_cores < grain || self.ready.is_empty() {
             return;
         }
+        self.schedule_passes += 1;
         // Seed the merge frontier with every ready user's front entry.
         self.merge.clear();
         for &user in &self.ready {
@@ -311,6 +323,7 @@ impl Cluster {
         let mut reservation: Option<(TimePoint, u64)> = None; // (head start, cores free then)
         let mut scanned_past_head = 0usize;
         while let Some(Reverse((_, user))) = self.merge.pop() {
+            self.merge_work += 1;
             let user = user as usize;
             let cursor = self.cursors[user] as usize;
             let job = self.queues[user][cursor].job;

@@ -229,6 +229,22 @@ pub fn run_cell_in(
     crate::simulator::Simulator::new(trace, fleet, table, intensity, config).run_in(arena)
 }
 
+/// [`run_cell_in`] with an observability recorder — see
+/// [`Simulator::run_in_obs`](crate::simulator::Simulator::run_in_obs)
+/// for the phase/counter taxonomy. Bit-identical results regardless of
+/// the recorder.
+pub fn run_cell_in_obs<R: green_obs::Recorder>(
+    trace: &Trace,
+    fleet: &[FleetMachine],
+    table: &PlacementTable,
+    intensity: &[HourlyTrace],
+    config: crate::simulator::SimConfig,
+    arena: &mut crate::SimArena,
+    obs: &R,
+) -> RunMetrics {
+    crate::simulator::Simulator::new(trace, fleet, table, intensity, config).run_in_obs(arena, obs)
+}
+
 /// All policy runs of one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResults {

@@ -65,7 +65,9 @@ pub mod profile;
 pub mod simulator;
 
 pub use arena::SimArena;
-pub use experiment::{intensity_for, run_cell, run_cell_in, Scenario, ScenarioResults};
+pub use experiment::{
+    intensity_for, run_cell, run_cell_in, run_cell_in_obs, Scenario, ScenarioResults,
+};
 pub use market::{MarketAgent, MarketInputs, PriceTable};
 pub use metrics::{JobOutcome, RunMetrics};
 pub use policy::Policy;

@@ -8,6 +8,7 @@
 
 pub mod experiments;
 pub mod export;
+pub mod json;
 pub mod perf;
 pub mod render;
 

@@ -20,6 +20,8 @@
 
 use std::fmt::Write as _;
 
+use crate::json::{fmt_num, quote, Json};
+
 /// One benchmark's numbers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfBench {
@@ -40,6 +42,11 @@ pub struct PerfBench {
     /// Deterministic work counters (name → count). Run-to-run stable on
     /// identical code; the gate fails when they drift.
     pub counters: Vec<(String, f64)>,
+    /// Per-phase wall-time attribution (phase name → milliseconds),
+    /// present when the suite ran with recording enabled (`green-perf
+    /// --phases`). Wall-clock derived, so the gate treats drift as
+    /// warn-only — the counters already gate the work itself.
+    pub phases: Vec<(String, f64)>,
     /// Derived throughput rates (name → per-second value). Reported for
     /// humans; the gate ignores them.
     pub rates: Vec<(String, f64)>,
@@ -106,6 +113,9 @@ impl PerfReport {
                 let _ = writeln!(out, "      \"peak_rss_mb\": {},", fmt_num(rss));
             }
             let _ = writeln!(out, "      \"counters\": {{{}}},", pairs(&bench.counters));
+            if !bench.phases.is_empty() {
+                let _ = writeln!(out, "      \"phases\": {{{}}},", pairs(&bench.phases));
+            }
             let _ = writeln!(out, "      \"rates\": {{{}}}", pairs(&bench.rates));
             out.push_str("    }");
             out.push_str(if i + 1 < self.benches.len() {
@@ -158,6 +168,7 @@ impl PerfReport {
                     .find(|(k, _)| k == "peak_rss_mb")
                     .and_then(|(_, v)| v.as_number()),
                 counters: numbers("counters")?,
+                phases: numbers("phases")?,
                 rates: numbers("rates")?,
             });
         }
@@ -228,6 +239,29 @@ impl PerfReport {
                     ));
                 }
             }
+            // Phase timings are wall-clock attribution: growth beyond
+            // the wall tolerance warns, never fails — the work counters
+            // already gate what each phase *does*.
+            for (phase, expected) in &base.phases {
+                let Some((_, actual)) = current.phases.iter().find(|(k, _)| k == phase) else {
+                    cmp.warnings.push(format!(
+                        "{}: phase `{phase}` missing from the current run — phases are warn-only",
+                        base.name
+                    ));
+                    continue;
+                };
+                let drift = (actual - expected) / expected.abs().max(1e-12);
+                if drift > wall_tolerance {
+                    cmp.warnings.push(format!(
+                        "{}: phase `{phase}` {:+.1}% (baseline {:.1} ms, now {:.1} ms) — \
+                         phases are warn-only",
+                        base.name,
+                        100.0 * drift,
+                        expected,
+                        actual,
+                    ));
+                }
+            }
         }
         cmp
     }
@@ -264,7 +298,9 @@ impl PerfReport {
                 };
                 let _ = writeln!(
                     out,
-                    "| {bench} | {metric} | {} | {} | {:+.1}% | {verdict} |",
+                    "| {} | {} | {} | {} | {:+.1}% | {verdict} |",
+                    escape_cell(bench),
+                    escape_cell(metric),
                     fmt_num(base),
                     fmt_num(now),
                     100.0 * signed_drift,
@@ -275,7 +311,7 @@ impl PerfReport {
                 let _ = writeln!(
                     out,
                     "| {} | — | — | — | — | **FAIL** (bench missing from current run) |",
-                    base.name
+                    escape_cell(&base.name)
                 );
                 continue;
             };
@@ -287,8 +323,9 @@ impl PerfReport {
                     None => {
                         let _ = writeln!(
                             out,
-                            "| {} | {counter} | {} | — | — | **FAIL** (counter missing) |",
-                            base.name,
+                            "| {} | {} | {} | — | — | **FAIL** (counter missing) |",
+                            escape_cell(&base.name),
+                            escape_cell(counter),
                             fmt_num(*expected)
                         );
                     }
@@ -305,9 +342,22 @@ impl PerfReport {
             if let (Some(b), Some(c)) = (base.peak_rss_mb, current.peak_rss_mb) {
                 row(&mut out, &base.name, "peak_rss_mb", b, c, false);
             }
+            for (phase, expected) in &base.phases {
+                if let Some((_, actual)) = current.phases.iter().find(|(k, _)| k == phase) {
+                    let metric = format!("phase:{phase}");
+                    row(&mut out, &base.name, &metric, *expected, *actual, false);
+                }
+            }
         }
         out
     }
+}
+
+/// Escapes a value for a GitHub-flavoured-markdown table cell: `|`
+/// would end the cell and a newline the row, so a counter named after,
+/// say, a filter expression can't silently shear the drift table.
+fn escape_cell(s: &str) -> String {
+    s.replace('|', "\\|").replace(['\n', '\r'], " ")
 }
 
 /// Drift relative to the *baseline*, so "±20 %" means what it says:
@@ -322,189 +372,12 @@ fn relative_drift(actual: f64, expected: f64) -> f64 {
     (actual - expected).abs() / expected.abs().max(1e-12)
 }
 
-fn fmt_num(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e15 {
-        format!("{}", v as i64)
-    } else {
-        format!("{v:.3}")
-    }
-}
-
 fn pairs(items: &[(String, f64)]) -> String {
     items
         .iter()
         .map(|(k, v)| format!("{}: {}", quote(k), fmt_num(*v)))
         .collect::<Vec<_>>()
         .join(", ")
-}
-
-fn quote(s: &str) -> String {
-    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
-}
-
-/// The minimal JSON value model the report schema needs.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Object(Vec<(String, Json)>),
-    Number(f64),
-    Str(String),
-}
-
-impl Json {
-    fn as_object(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Object(fields) => Some(fields),
-            _ => None,
-        }
-    }
-
-    fn as_number(&self) -> Option<f64> {
-        match self {
-            Json::Number(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn get(&self, key: &str) -> Option<&Json> {
-        self.as_object()?
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-    }
-
-    fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing content at byte {}", p.pos));
-        }
-        Ok(value)
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected `{}` at byte {}, found `{}`",
-                b as char,
-                self.pos,
-                self.bytes.get(self.pos).map(|b| *b as char).unwrap_or('∅')
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.bytes.get(self.pos) {
-            Some(b'{') => self.object(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b) if b.is_ascii_digit() || *b == b'-' => self.number(),
-            other => Err(format!(
-                "unexpected `{}` at byte {}",
-                other.map(|b| *b as char).unwrap_or('∅'),
-                self.pos
-            )),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    let escaped = self
-                        .bytes
-                        .get(self.pos + 1)
-                        .ok_or("dangling escape at end of input")?;
-                    out.push(match escaped {
-                        b'"' => '"',
-                        b'\\' => '\\',
-                        b'n' => '\n',
-                        b't' => '\t',
-                        other => return Err(format!("unsupported escape `\\{}`", *other as char)),
-                    });
-                    self.pos += 2;
-                }
-                Some(b) => {
-                    out.push(*b as char);
-                    self.pos += 1;
-                }
-                None => return Err("unterminated string".into()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Json::Number)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
 }
 
 #[cfg(test)]
@@ -519,6 +392,7 @@ mod tests {
                     wall_ms: 123.456,
                     peak_rss_mb: Some(512.25),
                     counters: vec![("events".into(), 108000.0), ("jobs".into(), 54000.0)],
+                    phases: vec![("schedule".into(), 80.0), ("events".into(), 40.0)],
                     rates: vec![("events_per_s".into(), 874912.252)],
                 },
                 PerfBench {
@@ -526,6 +400,7 @@ mod tests {
                     wall_ms: 250.0,
                     peak_rss_mb: None,
                     counters: vec![("cells".into(), 36.0)],
+                    phases: vec![],
                     rates: vec![],
                 },
             ],
@@ -677,5 +552,57 @@ mod tests {
         assert!(PerfReport::parse("not json").is_err());
         assert!(PerfReport::parse("{}").is_err(), "missing benches");
         assert!(PerfReport::parse("{\"benches\": 3}").is_err());
+    }
+
+    #[test]
+    fn phases_roundtrip_and_only_warn() {
+        let r = report();
+        let parsed = PerfReport::parse(&r.to_json()).expect("own output parses");
+        assert_eq!(
+            parsed.bench("sim_year").unwrap().phases,
+            r.benches[0].phases
+        );
+        // A bench with no phases serializes without a `phases` object,
+        // keeping pre-phase baselines byte-compatible.
+        assert!(!r.to_json().contains("\"phases\": {}"));
+
+        let mut current = report();
+        current.benches[0].phases[0].1 *= 3.0; // schedule phase 3× slower
+        let cmp = current.compare(&report(), 0.2, 0.5);
+        assert!(cmp.passed(), "phase drift must never fail the gate");
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("phase `schedule`")),
+            "{:?}",
+            cmp.warnings
+        );
+        // Phases show up in the drift table as warn-only rows.
+        let table = current.markdown_table(&report(), 0.2, 0.5);
+        let row = table
+            .lines()
+            .find(|l| l.contains("| phase:schedule |"))
+            .expect("phase row present");
+        assert!(row.contains("warn"), "{row}");
+        assert!(!row.contains("FAIL"), "{row}");
+    }
+
+    #[test]
+    fn markdown_escapes_pipes_and_newlines_in_names() {
+        let mut baseline = report();
+        baseline.benches[0]
+            .counters
+            .push(("odd|name\nsplit".into(), 7.0));
+        let mut current = baseline.clone();
+        current.benches[0].counters[2].1 = 700.0; // drifted: FAIL row
+        let table = current.markdown_table(&baseline, 0.2, 0.5);
+        let row = table
+            .lines()
+            .find(|l| l.contains("odd\\|name split"))
+            .expect("escaped counter row present");
+        assert!(row.contains("**FAIL**"), "{row}");
+        // Every data row still has exactly 6 columns — the raw `|` and
+        // newline would have sheared the table.
+        for line in table.lines().skip(2) {
+            assert_eq!(line.matches(" | ").count(), 5, "{line}");
+        }
     }
 }

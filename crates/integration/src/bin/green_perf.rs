@@ -62,10 +62,11 @@
 
 use std::time::Instant;
 
-use green_batchsim::{intensity_for, run_cell_in, PlacementTable, Policy, SimArena, SimConfig};
+use green_batchsim::{intensity_for, run_cell_in_obs, PlacementTable, Policy, SimArena, SimConfig};
 use green_bench::{peak_rss_mb, PerfBench, PerfReport};
 use green_carbon::HourlyTrace;
 use green_machines::simulation_fleet;
+use green_obs::{NoopRecorder, Recorder, StatsRecorder};
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
 use green_scenarios::{Shard, Sweep, SweepRunner};
 use green_units::TimePoint;
@@ -83,7 +84,15 @@ green-perf — deterministic perf suite and bench-regression gate
 USAGE:
     green-perf [--out <report.json>] [--check <baseline.json>]
                [--tolerance <rel>] [--wall-tolerance <rel>]
-               [--summary <file.md>] [--quiet]
+               [--summary <file.md>] [--phases] [--quiet]
+
+--phases runs the suite with the observability recorder enabled: each
+bench additionally reports the recorder's deterministic work counters
+(events_drained, ready_user_merges, cache_hits, …) — gated like any
+counter — and a per-phase wall-time breakdown (schedule/events/settle/
+attribute/csv), which drifts warn-only like wall time. Without the
+flag the suite runs the zero-cost no-op recorder, matching baselines
+generated before the recorder existed.
 ";
 
 fn fail(message: &str) -> ! {
@@ -103,7 +112,24 @@ fn measured(bench: impl FnOnce() -> PerfBench) -> PerfBench {
     bench()
 }
 
-fn bench_sim_year() -> PerfBench {
+/// Folds a recording run's snapshot into the bench: recorder counters
+/// are deterministic work counts (gated like any other), phase
+/// milliseconds land in the warn-only `phases` section.
+fn folded(mut bench: PerfBench, recorder: &StatsRecorder) -> PerfBench {
+    if let Some(snapshot) = recorder.snapshot() {
+        for (name, value) in &snapshot.counters {
+            bench.counters.push((name.to_string(), *value as f64));
+        }
+        bench.phases = snapshot
+            .phases_ms
+            .iter()
+            .map(|(name, ms)| (name.to_string(), *ms))
+            .collect();
+    }
+    bench
+}
+
+fn bench_sim_year<R: Recorder>(obs: &R) -> PerfBench {
     let fleet = simulation_fleet();
     let behaviors: Vec<MachineBehavior> = fleet
         .iter()
@@ -120,13 +146,14 @@ fn bench_sim_year() -> PerfBench {
     let mut jobs = 0u64;
     let mut release_work = 0u64;
     for policy in [Policy::Greedy, Policy::Energy, Policy::Eft] {
-        let metrics = run_cell_in(
+        let metrics = run_cell_in_obs(
             &trace,
             &fleet,
             &table,
             &intensity,
             SimConfig::new(policy, green_accounting::MethodKind::eba(), 24),
             &mut arena,
+            obs,
         );
         events += metrics.events as u64;
         jobs += metrics.outcomes.len() as u64;
@@ -143,6 +170,7 @@ fn bench_sim_year() -> PerfBench {
             ("jobs".into(), jobs as f64),
             ("release_work".into(), release_work as f64),
         ],
+        phases: vec![],
         rates: vec![(
             "events_per_s".into(),
             events as f64 / (wall_ms / 1e3).max(1e-12),
@@ -175,6 +203,7 @@ fn bench_attribution() -> PerfBench {
         wall_ms,
         peak_rss_mb: peak_rss_mb(),
         counters: vec![("queries".into(), QUERIES as f64)],
+        phases: vec![],
         rates: vec![(
             "queries_per_s".into(),
             QUERIES as f64 / (wall_ms / 1e3).max(1e-12),
@@ -184,10 +213,10 @@ fn bench_attribution() -> PerfBench {
 
 /// Runs a sweep grid single-threaded and reports its deterministic work
 /// counters plus cells/s and events/s.
-fn bench_sweep(name: &str, toml: &str) -> PerfBench {
+fn bench_sweep<R: Recorder>(name: &str, toml: &str, obs: &R) -> PerfBench {
     let sweep = Sweep::from_toml_str(toml).expect("shipped sweep parses");
     let start = Instant::now();
-    let (results, stats) = SweepRunner::new(1).run_collect(&sweep, None, None);
+    let (results, stats) = SweepRunner::new(1).run_collect_obs(&sweep, None, None, obs);
     std::hint::black_box(results);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     PerfBench {
@@ -201,6 +230,7 @@ fn bench_sweep(name: &str, toml: &str) -> PerfBench {
             ("realizations".into(), stats.realizations as f64),
             ("price_tables".into(), stats.price_tables as f64),
         ],
+        phases: vec![],
         rates: vec![
             (
                 "cells_per_s".into(),
@@ -219,13 +249,21 @@ fn bench_sweep(name: &str, toml: &str) -> PerfBench {
 /// the sharded execution path — the survey-scale throughput number the
 /// ROADMAP asked for, measured on exactly the code CI's shard matrix
 /// fans out.
-fn bench_sweep_mega() -> PerfBench {
+fn bench_sweep_mega<R: Recorder>(obs: &R) -> PerfBench {
     let sweep = Sweep::from_toml_str(MEGA_GRID_TOML).expect("shipped sweep parses");
     assert_eq!(sweep.cell_count(), 1_000_000, "the mega grid moved");
     let range = Shard { index: 0, of: 10 }.cell_range(sweep.config_count(), sweep.seeds.len());
     let start = Instant::now();
     let summary = SweepRunner::new(1)
-        .run_streamed_range(&sweep, None, Some(range), true, None, &mut std::io::sink())
+        .run_streamed_range_obs(
+            &sweep,
+            None,
+            Some(range),
+            true,
+            None,
+            &mut std::io::sink(),
+            obs,
+        )
         .expect("streaming to a sink cannot fail");
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     PerfBench {
@@ -239,6 +277,7 @@ fn bench_sweep_mega() -> PerfBench {
             ("release_work".into(), summary.stats.release_work as f64),
             ("realizations".into(), summary.stats.realizations as f64),
         ],
+        phases: vec![],
         rates: vec![
             (
                 "cells_per_s".into(),
@@ -263,6 +302,7 @@ fn main() {
     let mut summary: Option<String> = None;
     let mut tolerance = 0.20f64;
     let mut wall_tolerance = 1.00f64;
+    let mut phases = false;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -285,6 +325,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("bad --wall-tolerance"));
             }
+            "--phases" => phases = true,
             "--quiet" => quiet = true,
             other => fail(&format!("unknown option `{other}`")),
         }
@@ -293,14 +334,35 @@ fn main() {
         fail("--summary renders drift against a baseline; it requires --check");
     }
 
-    let report = PerfReport {
-        benches: vec![
-            measured(bench_sim_year),
-            measured(bench_attribution),
-            measured(|| bench_sweep("sweep_grid", SENSITIVITY_TOML)),
-            measured(|| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML)),
-            measured(bench_sweep_mega),
-        ],
+    // With --phases each bench gets its own recorder (so counters and
+    // phase times attribute per bench); the default path hands every
+    // bench the no-op recorder, whose probes compile to nothing.
+    let report = if phases {
+        let rec = |bench: fn(&StatsRecorder) -> PerfBench| {
+            measured(|| {
+                let recorder = StatsRecorder::new();
+                folded(bench(&recorder), &recorder)
+            })
+        };
+        PerfReport {
+            benches: vec![
+                rec(bench_sim_year),
+                measured(bench_attribution),
+                rec(|r| bench_sweep("sweep_grid", SENSITIVITY_TOML, r)),
+                rec(|r| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, r)),
+                rec(bench_sweep_mega),
+            ],
+        }
+    } else {
+        PerfReport {
+            benches: vec![
+                measured(|| bench_sim_year(&NoopRecorder)),
+                measured(bench_attribution),
+                measured(|| bench_sweep("sweep_grid", SENSITIVITY_TOML, &NoopRecorder)),
+                measured(|| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, &NoopRecorder)),
+                measured(|| bench_sweep_mega(&NoopRecorder)),
+            ],
+        }
     };
     if !quiet {
         for bench in &report.benches {

@@ -69,8 +69,10 @@ impl Account {
         f64::from_bits(self.spent.load(Ordering::Acquire))
     }
 
-    /// CAS-adds to `granted`.
-    fn add_granted(&self, amount: f64) {
+    /// CAS-adds to `granted`. `retries` accumulates lost CAS races
+    /// (ledger-level contention telemetry; stays untouched uncontended).
+    fn add_granted(&self, amount: f64, retries: &AtomicU64) {
+        let mut lost = 0u64;
         let mut current = self.granted.load(Ordering::Acquire);
         loop {
             let next = (f64::from_bits(current) + amount).to_bits();
@@ -80,21 +82,28 @@ impl Account {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return,
-                Err(seen) => current = seen,
+                Ok(_) => break,
+                Err(seen) => {
+                    lost += 1;
+                    current = seen;
+                }
             }
+        }
+        if lost > 0 {
+            retries.fetch_add(lost, Ordering::Relaxed);
         }
     }
 
     /// CAS loop: spend `amount` if affordable, mirroring
     /// `Allocation::can_afford` (an `EPS` slack against rounding).
-    fn try_spend(&self, amount: f64) -> Result<(), (f64, f64)> {
+    fn try_spend(&self, amount: f64, retries: &AtomicU64) -> Result<(), (f64, f64)> {
+        let mut lost = 0u64;
         let mut current = self.spent.load(Ordering::Acquire);
-        loop {
+        let result = loop {
             let spent = f64::from_bits(current);
             let granted = self.granted();
             if amount > granted - spent + EPS {
-                return Err((amount, granted - spent));
+                break Err((amount, granted - spent));
             }
             match self.spent.compare_exchange_weak(
                 current,
@@ -102,17 +111,25 @@ impl Account {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return Ok(()),
-                Err(seen) => current = seen,
+                Ok(_) => break Ok(()),
+                Err(seen) => {
+                    lost += 1;
+                    current = seen;
+                }
             }
+        };
+        if lost > 0 {
+            retries.fetch_add(lost, Ordering::Relaxed);
         }
+        result
     }
 
     /// CAS loop: spend as much of `amount` as the balance allows; returns
     /// the amount actually spent.
-    fn spend_up_to(&self, amount: f64) -> f64 {
+    fn spend_up_to(&self, amount: f64, retries: &AtomicU64) -> f64 {
+        let mut lost = 0u64;
         let mut current = self.spent.load(Ordering::Acquire);
-        loop {
+        let charged = loop {
             let spent = f64::from_bits(current);
             let remaining = (self.granted() - spent).max(0.0);
             let charge = amount.min(remaining);
@@ -122,17 +139,25 @@ impl Account {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return charge,
-                Err(seen) => current = seen,
+                Ok(_) => break charge,
+                Err(seen) => {
+                    lost += 1;
+                    current = seen;
+                }
             }
+        };
+        if lost > 0 {
+            retries.fetch_add(lost, Ordering::Relaxed);
         }
+        charged
     }
 
     /// CAS loop: refund up to the outstanding spend; returns the amount
     /// actually refunded.
-    fn refund(&self, amount: f64) -> f64 {
+    fn refund(&self, amount: f64, retries: &AtomicU64) -> f64 {
+        let mut lost = 0u64;
         let mut current = self.spent.load(Ordering::Acquire);
-        loop {
+        let refunded = loop {
             let spent = f64::from_bits(current);
             let refunded = amount.min(spent.max(0.0));
             match self.spent.compare_exchange_weak(
@@ -141,10 +166,17 @@ impl Account {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return refunded,
-                Err(seen) => current = seen,
+                Ok(_) => break refunded,
+                Err(seen) => {
+                    lost += 1;
+                    current = seen;
+                }
             }
+        };
+        if lost > 0 {
+            retries.fetch_add(lost, Ordering::Relaxed);
         }
+        refunded
     }
 }
 
@@ -337,6 +369,10 @@ impl Drop for Shard {
 /// A concurrent credit ledger striped over account shards.
 pub struct ShardedLedger {
     shards: Vec<Shard>,
+    /// CAS races lost across every balance loop — an observability
+    /// tripwire: deterministically zero on single-threaded replays,
+    /// a contention gauge on concurrent ones.
+    cas_retries: AtomicU64,
 }
 
 /// FNV-1a over the owner name: a stable, seedless hash so shard
@@ -356,12 +392,20 @@ impl ShardedLedger {
     pub fn new(shards: usize) -> ShardedLedger {
         ShardedLedger {
             shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+            cas_retries: AtomicU64::new(0),
         }
     }
 
     /// Number of stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total CAS races lost across all balance loops so far. Zero on any
+    /// single-threaded replay; under concurrency this measures ledger
+    /// contention per shard count (the `ledger_cas_retries` counter).
+    pub fn cas_retries(&self) -> u64 {
+        self.cas_retries.load(Ordering::Relaxed)
     }
 
     /// Hashes the owner once; the *high* hash bits pick the shard and
@@ -402,7 +446,7 @@ impl CreditStore for ShardedLedger {
         let (hash, shard) = self.locate(owner);
         shard
             .find_or_insert(hash, owner)
-            .add_granted(amount.value());
+            .add_granted(amount.value(), &self.cas_retries);
     }
 
     fn balance(&self, owner: &str) -> Option<Credits> {
@@ -432,7 +476,7 @@ impl CreditStore for ShardedLedger {
         shard
             .find(hash, owner)
             .ok_or_else(|| unknown(owner))?
-            .try_spend(value)
+            .try_spend(value, &self.cas_retries)
             .map_err(
                 |(requested, available)| AllocationError::InsufficientCredits {
                     account: owner.to_string(),
@@ -456,7 +500,7 @@ impl CreditStore for ShardedLedger {
         let refunded = shard
             .find(hash, owner)
             .ok_or_else(|| unknown(owner))?
-            .refund(value);
+            .refund(value, &self.cas_retries);
         record(shard, owner, -refunded, at, label);
         Ok(Credits::new(refunded))
     }
@@ -473,7 +517,7 @@ impl CreditStore for ShardedLedger {
         let charged = shard
             .find(hash, owner)
             .ok_or_else(|| unknown(owner))?
-            .spend_up_to(value);
+            .spend_up_to(value, &self.cas_retries);
         record(shard, owner, charged, at, label);
         Ok(Credits::new(charged))
     }

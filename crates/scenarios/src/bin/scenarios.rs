@@ -13,18 +13,22 @@
 //!   --shard <I/N>        run shard I of an N-way split (implies --stream)
 //!   --cell-range <A..B>  run an explicit config-aligned cell range
 //!   --resume             continue a killed shard from its checkpoint
+//!   --obs                record per-phase timings and work counters
+//!                        (shard runs; lands in the .progress sidecar)
 //!   --list               print the expanded cells and exit without running
 //!   --quiet              suppress the progress line
 //!
 //! scenarios merge --out <merged.csv> [--partial] <shard.csv>...
+//! scenarios watch <dir> [--once] [--interval <s>]
 //! ```
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use green_obs::{Recorder, StatsRecorder};
 use green_scenarios::{
-    cell_label, merge_shards, run_shard, Shard, ShardAssignment, ShardJob, Sweep, SweepRunner,
-    WorkloadPreset, CHECKPOINT_EVERY,
+    cell_label, merge_shards, run_shard, run_shard_obs, watch, Shard, ShardAssignment, ShardJob,
+    ShardOutcome, Sweep, SweepRunner, WorkloadPreset, CHECKPOINT_EVERY,
 };
 
 const USAGE: &str = "\
@@ -33,9 +37,10 @@ scenarios — parallel Monte-Carlo scenario sweeps over the batch simulator
 USAGE:
     scenarios <sweep.toml> [--out <file.csv>] [--stream] [--threads <n>]
               [--preset <micro|tiny|quick|paper>] [--filter <substr>]
-              [--shard <I/N>] [--cell-range <A..B>] [--resume]
+              [--shard <I/N>] [--cell-range <A..B>] [--resume] [--obs]
               [--list] [--quiet]
     scenarios merge --out <merged.csv> [--partial] <shard.csv>...
+    scenarios watch <dir> [--once] [--interval <seconds>]
 
 --stream writes aggregate rows to --out as each configuration's
 replicates complete (expansion order, byte-identical to the buffered
@@ -68,6 +73,18 @@ docs/sweep-format.md for the full key reference.
 config columns, e.g. `adaptive/cba/0+1+2+3/2023/24/64/1.000/1.000/
 1.00/carbon:0.600/100.0`) contains the given substring — handy to
 iterate on one cell of a large grid.
+
+Every shard run heartbeats a `<out>.progress` JSONL sidecar at each
+checkpoint (rows, rate, ETA, RSS). --obs additionally records per-phase
+wall-time attribution (schedule/events/settle/attribute/csv) and work
+counters into those heartbeats and prints a summary when the shard
+finishes; the default run carries zero instrumentation cost.
+
+`scenarios watch <dir>` tails every `<shard>.csv.manifest` +
+`.progress` pair in a directory and renders a per-shard table (rows
+done, rate, ETA, stall detection). --once prints a single table and
+exits (CI-friendly); the default redraws every --interval seconds
+(5 by default) until every shard is complete. See docs/observability.md.
 ";
 
 fn fail(message: &str) -> ! {
@@ -122,6 +139,58 @@ fn merge_main(args: &[String]) -> ! {
     }
 }
 
+/// The `scenarios watch` subcommand: render per-shard progress tables
+/// for a directory of shard outputs until every shard completes.
+fn watch_main(args: &[String]) -> ! {
+    let mut dir: Option<PathBuf> = None;
+    let mut once = false;
+    let mut interval_s = 5u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval" => {
+                let Some(v) = it.next() else {
+                    fail("watch --interval needs a seconds count");
+                };
+                interval_s = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad interval `{v}`")));
+            }
+            other if other.starts_with('-') => fail(&format!("unknown watch option `{other}`")),
+            other => {
+                if dir.replace(PathBuf::from(other)).is_some() {
+                    fail("more than one watch directory given");
+                }
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        fail("watch needs a directory of shard outputs");
+    };
+    loop {
+        match watch::WatchReport::scan(&dir, watch::STALL_AFTER_S) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if once {
+                    std::process::exit(0);
+                }
+                if report.all_complete() {
+                    std::process::exit(0);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: watch: {e}");
+                if once {
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval_s.max(1)));
+        println!();
+    }
+}
+
 /// Parses `--cell-range A..B` (half-open cell indices).
 fn parse_cell_range(token: &str) -> core::ops::Range<usize> {
     let parsed = token.split_once("..").and_then(|(a, b)| {
@@ -141,6 +210,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("merge") {
         merge_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("watch") {
+        watch_main(&args[1..]);
+    }
 
     let mut sweep_path: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
@@ -150,6 +222,7 @@ fn main() {
     let mut shard: Option<Shard> = None;
     let mut cell_range: Option<core::ops::Range<usize>> = None;
     let mut resume = false;
+    let mut obs = false;
     let mut list = false;
     let mut quiet = false;
     let mut stream = false;
@@ -195,6 +268,7 @@ fn main() {
                 cell_range = Some(parse_cell_range(v));
             }
             "--resume" => resume = true,
+            "--obs" => obs = true,
             "--list" => list = true,
             "--quiet" => quiet = true,
             "--stream" => stream = true,
@@ -321,11 +395,41 @@ fn main() {
             resume,
             checkpoint_every: CHECKPOINT_EVERY,
         };
-        let outcome = run_shard(&runner, &job, if quiet { None } else { Some(&progress) })
-            .unwrap_or_else(|e| {
-                eprintln!("error: shard: {e}");
-                std::process::exit(1);
-            });
+        let progress: Option<&green_scenarios::runner::ProgressFn> =
+            if quiet { None } else { Some(&progress) };
+        let fail_shard = |e: std::io::Error| -> ! {
+            eprintln!("error: shard: {e}");
+            std::process::exit(1);
+        };
+        let outcome: ShardOutcome = if obs {
+            // Recording run: phase timings and work counters flow into
+            // the `.progress` heartbeats and a stderr summary. Output
+            // bytes are identical to the uninstrumented run.
+            let recorder = StatsRecorder::new();
+            let outcome =
+                run_shard_obs(&runner, &job, progress, &recorder).unwrap_or_else(|e| fail_shard(e));
+            if !quiet {
+                if let Some(snapshot) = recorder.snapshot() {
+                    eprintln!("obs: phase timings (ms):");
+                    for (phase, ms) in &snapshot.phases_ms {
+                        eprintln!("  {phase:<12} {ms:>12.1}");
+                    }
+                    eprintln!("obs: work counters:");
+                    for (counter, value) in &snapshot.counters {
+                        eprintln!("  {counter:<22} {value:>12}");
+                    }
+                    for span in &snapshot.spans {
+                        eprintln!(
+                            "obs: span {}: {} × (total {:.1} ms, max {:.2} ms)",
+                            span.kind, span.count, span.total_ms, span.max_ms
+                        );
+                    }
+                }
+            }
+            outcome
+        } else {
+            run_shard(&runner, &job, progress).unwrap_or_else(|e| fail_shard(e))
+        };
         if !quiet {
             let resumed = if outcome.resumed_rows > 0 {
                 format!(" ({} rows resumed from checkpoint)", outcome.resumed_rows)

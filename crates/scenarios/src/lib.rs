@@ -63,20 +63,27 @@
 //! ```
 
 pub mod agg;
+pub mod progress;
 pub mod runner;
 pub mod shard;
 pub mod spec;
 pub mod sweep;
 pub mod toml;
+pub mod watch;
 
 pub use agg::{Aggregate, CellSummary, SweepResults, CSV_HEADERS};
+pub use progress::{
+    atomic_rewrite, progress_path, ProgressRecord, ProgressWriter, PROGRESS_HISTORY,
+    PROGRESS_SCHEMA,
+};
 pub use runner::{
     cell_label, CellMetrics, FleetSlice, RunStats, StreamSummary, SweepCaches, SweepRunner,
     SweepWorld,
 };
 pub use shard::{
-    manifest_path, merge_shards, run_shard, shard_ranges, MergeSummary, Shard, ShardAssignment,
-    ShardJob, ShardManifest, ShardOutcome, CHECKPOINT_EVERY,
+    manifest_path, merge_shards, run_shard, run_shard_obs, shard_ranges, MergeSummary, Shard,
+    ShardAssignment, ShardJob, ShardManifest, ShardOutcome, CHECKPOINT_EVERY,
 };
 pub use spec::{fleet_index, MethodSpec, PolicySpec, ScenarioSpec, SpecError};
 pub use sweep::{Cell, Sweep, WorkloadConfig, WorkloadPreset};
+pub use watch::{watch_once, ShardStatus, WatchReport};

@@ -1,0 +1,306 @@
+//! Live progress telemetry for shard workers.
+//!
+//! A shard invocation appends one [`ProgressRecord`] to a JSONL sidecar
+//! (`<out>.progress`) at every manifest checkpoint — same cadence, same
+//! atomic-rewrite durability, so a kill can tear neither file. Each
+//! record is a flat one-line JSON object (the dialect of
+//! [`green_bench::json`]): rows done vs expected, elapsed seconds,
+//! derived rate/ETA, resident-set size, and — when the worker ran with
+//! recording enabled — the per-phase wall-time breakdown from the
+//! observability recorder.
+//!
+//! The sidecar keeps a bounded rolling history ([`PROGRESS_HISTORY`]
+//! records, oldest dropped) rather than growing with the grid: a
+//! million-cell shard checkpoints thousands of times, and the consumers
+//! (`scenarios watch`, CI artifacts) only ever want the recent tail to
+//! compute rates and detect stalls.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use green_bench::json::{fmt_num, quote, Json};
+
+use crate::spec::SpecError;
+
+/// Schema tag carried by every progress record (first key), so a
+/// consumer can refuse a sidecar written by an incompatible build.
+pub const PROGRESS_SCHEMA: &str = "green-progress/1";
+
+/// Records kept in the rolling sidecar history. At the default
+/// checkpoint interval this covers the last ~4096 configuration rows —
+/// plenty for rate estimation, bounded for million-cell grids.
+pub const PROGRESS_HISTORY: usize = 64;
+
+/// The progress sidecar path of a shard CSV: `<csv>.progress`.
+pub fn progress_path(csv: &Path) -> PathBuf {
+    let mut name = csv.file_name().unwrap_or_default().to_os_string();
+    name.push(".progress");
+    csv.with_file_name(name)
+}
+
+/// Writes `contents` to `path` atomically: write a `<path>.tmp` sibling,
+/// then rename over the target. A kill mid-write leaves the previous
+/// file intact rather than a torn one. Shared by the shard manifest and
+/// the progress sidecar so both checkpoints have the same durability.
+pub fn atomic_rewrite(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// One heartbeat from a shard worker: a snapshot of where the run is
+/// and how fast it is moving. Serialized as one JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressRecord {
+    /// Sweep name (matches the manifest's `sweep`).
+    pub sweep: String,
+    /// Worker label (`"2/8"`, `"cells:A..B"`, `"0/1"`).
+    pub shard: String,
+    /// Configuration rows checkpointed so far (resumed rows included).
+    pub rows: usize,
+    /// Rows the assigned range will produce in total.
+    pub expected_rows: usize,
+    /// Seconds since this invocation started (monotonic clock — resumed
+    /// work from earlier invocations is not included).
+    pub elapsed_s: f64,
+    /// Rows per second over this invocation (`0` until the first row).
+    pub rate_rows_per_s: f64,
+    /// Estimated seconds to completion at the current rate; `None`
+    /// before a rate exists or once the shard is complete.
+    pub eta_s: Option<f64>,
+    /// Worker resident-set size in MiB (`VmRSS`); `None` off Linux.
+    pub rss_mb: Option<f64>,
+    /// Per-phase wall milliseconds from the observability recorder —
+    /// empty when the worker ran with the default no-op recorder.
+    pub phases_ms: Vec<(String, f64)>,
+    /// True on the final record of a finished shard.
+    pub complete: bool,
+}
+
+impl ProgressRecord {
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\": {}, \"sweep\": {}, \"shard\": {}, \"rows\": {}, \
+             \"expected_rows\": {}, \"elapsed_s\": {}, \"rate_rows_per_s\": {}",
+            quote(PROGRESS_SCHEMA),
+            quote(&self.sweep),
+            quote(&self.shard),
+            self.rows,
+            self.expected_rows,
+            fmt_num(self.elapsed_s),
+            fmt_num(self.rate_rows_per_s),
+        );
+        out.push_str(", \"eta_s\": ");
+        match self.eta_s {
+            Some(eta) => out.push_str(&fmt_num(eta)),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"rss_mb\": ");
+        match self.rss_mb {
+            Some(rss) => out.push_str(&fmt_num(rss)),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"phases_ms\": {");
+        for (i, (name, ms)) in self.phases_ms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", quote(name), fmt_num(*ms)));
+        }
+        out.push_str(&format!("}}, \"complete\": {}}}", self.complete));
+        out
+    }
+
+    /// Parses one JSON line previously written by
+    /// [`to_json_line`](Self::to_json_line).
+    pub fn parse(line: &str) -> Result<ProgressRecord, SpecError> {
+        let bad = |m: &str| SpecError(format!("bad progress record: {m}"));
+        let v = Json::parse(line).map_err(|e| bad(&e))?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing `schema`"))?;
+        if schema != PROGRESS_SCHEMA {
+            return Err(bad(&format!(
+                "schema `{schema}` (this build reads `{PROGRESS_SCHEMA}`)"
+            )));
+        }
+        let string = |key: &str| -> Result<String, SpecError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("missing string `{key}`")))
+        };
+        let number = |key: &str| -> Result<f64, SpecError> {
+            v.get(key)
+                .and_then(Json::as_number)
+                .ok_or_else(|| bad(&format!("missing number `{key}`")))
+        };
+        let optional = |key: &str| v.get(key).and_then(Json::as_number);
+        let phases_ms = match v.get("phases_ms") {
+            Some(Json::Object(fields)) => fields
+                .iter()
+                .map(|(k, ms)| {
+                    ms.as_number()
+                        .map(|ms| (k.clone(), ms))
+                        .ok_or_else(|| bad(&format!("`phases_ms.{k}` must be a number")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(bad("missing object `phases_ms`")),
+        };
+        Ok(ProgressRecord {
+            sweep: string("sweep")?,
+            shard: string("shard")?,
+            rows: number("rows")? as usize,
+            expected_rows: number("expected_rows")? as usize,
+            elapsed_s: number("elapsed_s")?,
+            rate_rows_per_s: number("rate_rows_per_s")?,
+            eta_s: optional("eta_s"),
+            rss_mb: optional("rss_mb"),
+            phases_ms,
+            complete: v
+                .get("complete")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad("missing boolean `complete`"))?,
+        })
+    }
+
+    /// Parses a whole sidecar (one record per non-empty line, oldest
+    /// first).
+    pub fn parse_sidecar(text: &str) -> Result<Vec<ProgressRecord>, SpecError> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(ProgressRecord::parse)
+            .collect()
+    }
+}
+
+/// The process's current resident set size in MiB, read from
+/// `/proc/self/status` (`VmRSS`). `None` off Linux — progress records
+/// treat it as advisory either way.
+pub fn current_rss_mb() -> Option<f64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+        let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb / 1024.0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Maintains a shard CSV's `.progress` sidecar: a bounded rolling
+/// window of records, rewritten atomically on every append.
+#[derive(Debug)]
+pub struct ProgressWriter {
+    path: PathBuf,
+    lines: VecDeque<String>,
+}
+
+impl ProgressWriter {
+    /// A writer for the sidecar of `csv`, starting with an empty
+    /// history (an earlier invocation's sidecar is superseded on the
+    /// first append — its records described a different invocation's
+    /// rates).
+    pub fn new(csv: &Path) -> ProgressWriter {
+        ProgressWriter {
+            path: progress_path(csv),
+            lines: VecDeque::new(),
+        }
+    }
+
+    /// Appends `record` and rewrites the sidecar atomically, dropping
+    /// the oldest records beyond [`PROGRESS_HISTORY`].
+    pub fn append(&mut self, record: &ProgressRecord) -> io::Result<()> {
+        if self.lines.len() >= PROGRESS_HISTORY {
+            self.lines.pop_front();
+        }
+        self.lines.push_back(record.to_json_line());
+        let mut text = String::with_capacity(self.lines.iter().map(|l| l.len() + 1).sum());
+        for line in &self.lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        atomic_rewrite(&self.path, &text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ProgressRecord {
+        ProgressRecord {
+            sweep: "mega".into(),
+            shard: "2/8".into(),
+            rows: 64,
+            expected_rows: 480,
+            elapsed_s: 12.5,
+            rate_rows_per_s: 5.12,
+            eta_s: Some(81.25),
+            rss_mb: Some(48.7),
+            phases_ms: vec![("schedule".into(), 6200.0), ("events".into(), 3100.5)],
+            complete: false,
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_including_nulls() {
+        let r = record();
+        assert_eq!(ProgressRecord::parse(&r.to_json_line()).unwrap(), r);
+        let bare = ProgressRecord {
+            eta_s: None,
+            rss_mb: None,
+            phases_ms: vec![],
+            complete: true,
+            ..record()
+        };
+        let line = bare.to_json_line();
+        assert!(line.contains("\"eta_s\": null"), "{line}");
+        assert!(line.contains("\"complete\": true"), "{line}");
+        assert_eq!(ProgressRecord::parse(&line).unwrap(), bare);
+    }
+
+    #[test]
+    fn parse_rejects_other_schemas_and_garbage() {
+        let other = record().to_json_line().replace("green-progress/1", "v9");
+        assert!(ProgressRecord::parse(&other).is_err());
+        assert!(ProgressRecord::parse("not json").is_err());
+        assert!(ProgressRecord::parse("{}").is_err());
+    }
+
+    #[test]
+    fn writer_keeps_a_bounded_rolling_history() {
+        let dir = std::env::temp_dir().join(format!("green-progress-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("shard0.csv");
+        let mut writer = ProgressWriter::new(&csv);
+        for i in 0..(PROGRESS_HISTORY + 10) {
+            let mut r = record();
+            r.rows = i;
+            writer.append(&r).unwrap();
+        }
+        let text = std::fs::read_to_string(progress_path(&csv)).unwrap();
+        let records = ProgressRecord::parse_sidecar(&text).unwrap();
+        assert_eq!(records.len(), PROGRESS_HISTORY);
+        // Oldest records were dropped; the tail is the latest appends.
+        assert_eq!(records.first().unwrap().rows, 10);
+        assert_eq!(records.last().unwrap().rows, PROGRESS_HISTORY + 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sidecar_path_appends_progress_suffix() {
+        assert_eq!(
+            progress_path(Path::new("out/shard0.csv")),
+            Path::new("out/shard0.csv.progress")
+        );
+    }
+}

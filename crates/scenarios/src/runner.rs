@@ -26,8 +26,9 @@ use std::io::Write;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use green_accounting::CreditStore;
 use green_batchsim::{
-    intensity_for, run_cell_in, MarketInputs, PlacementTable, PriceTable, RunMetrics, SimArena,
+    intensity_for, run_cell_in_obs, MarketInputs, PlacementTable, PriceTable, RunMetrics, SimArena,
     SimConfig,
 };
 use green_carbon::HourlyTrace;
@@ -35,6 +36,7 @@ use green_machines::{simulation_fleet, FleetMachine};
 use green_market::{
     market_population, price_table, settle_run, CreditBank, PriceSpec, ShardedLedger,
 };
+use green_obs::{Counter, NoopRecorder, Phase, Recorder, SpanKind, Stopwatch};
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
 use green_workload::Trace;
 
@@ -245,6 +247,23 @@ impl SweepWorld {
         caches: &SweepCaches,
         arena: &mut SimArena,
     ) -> CellMetrics {
+        self.run_cell_in_obs(spec, caches, arena, &NoopRecorder)
+    }
+
+    /// [`run_cell_in`](SweepWorld::run_cell_in) with an observability
+    /// recorder. Beyond the simulator's own phases/counters this books
+    /// market settlement wall time to the `settle` phase, the
+    /// settlement counters (`jobs_settled`, `ledger_txns`,
+    /// `ledger_cas_retries`), and the cell's shared-cache hit count
+    /// (each lookup served by [`SweepCaches`] instead of rebuilt).
+    /// Results are bit-identical regardless of the recorder.
+    pub fn run_cell_in_obs<R: Recorder>(
+        &self,
+        spec: &ScenarioSpec,
+        caches: &SweepCaches,
+        arena: &mut SimArena,
+        obs: &R,
+    ) -> CellMetrics {
         let population = self.population_for(spec.users);
         let trace = &population
             .traces
@@ -278,13 +297,14 @@ impl SweepWorld {
                 shift_threshold: SHIFT_THRESHOLD,
             }),
         };
-        let metrics = run_cell_in(
+        let metrics = run_cell_in_obs(
             trace,
             &slice.machines,
             &slice.table,
             &intensity,
             config,
             arena,
+            obs,
         );
         let capacity: f64 = slice
             .machines
@@ -301,6 +321,7 @@ impl SweepWorld {
         if let Some(prices) = &prices {
             // Settle the run through the sharded store: the ledger on
             // the hot path, per cell, with banking of off-peak savings.
+            let settle_watch = Stopwatch::<R>::start();
             let store = ShardedLedger::new(8);
             let mut bank = CreditBank::new(spec.banking_cap, BANK_DECAY);
             let run = settle_run(
@@ -313,6 +334,20 @@ impl SweepWorld {
             );
             cell.posted_credits = run.posted_spent;
             cell.banked_credits = run.banked;
+            if R::ENABLED {
+                obs.phase_ns(Phase::Settle, settle_watch.elapsed_ns());
+                obs.add(Counter::JobsSettled, metrics.outcomes.len() as u64);
+                obs.add(Counter::LedgerTxns, store.transaction_count() as u64);
+                obs.add(Counter::LedgerCasRetries, store.cas_retries());
+            }
+        }
+        if R::ENABLED {
+            obs.add(Counter::CellsRun, 1);
+            // Lookups this cell served from the shared caches instead of
+            // rebuilding: its intensity realization, plus the compiled
+            // price table and agent population on market cells.
+            let hits = 1 + spec.market_active() as u64 + spec.market_drives_decisions() as u64;
+            obs.add(Counter::CacheHits, hits);
         }
         // Hand the outcome storage back so the next cell reuses it.
         arena.recycle(metrics);
@@ -502,6 +537,12 @@ impl SweepCaches {
     pub fn agent_population_count(&self) -> usize {
         self.agents.len()
     }
+
+    /// Total distinct artifacts the prepass had to build — the sweep's
+    /// cache *misses* (every per-cell lookup afterwards is a hit).
+    pub fn artifact_count(&self) -> usize {
+        self.realizations.len() + self.prices.len() + self.agents.len()
+    }
 }
 
 /// Deterministic work counters of one sweep execution — what the perf
@@ -674,16 +715,43 @@ impl SweepRunner {
         filter: Option<&str>,
         progress: Option<&ProgressFn>,
     ) -> (SweepResults, RunStats) {
+        self.run_collect_obs(sweep, filter, progress, &NoopRecorder)
+    }
+
+    /// [`run_collect`](SweepRunner::run_collect) with an observability
+    /// recorder: world/cache construction is booked to the `prepare`
+    /// phase, cells record per-cell spans and the full phase/counter
+    /// taxonomy (see [`SweepWorld::run_cell_in_obs`]). Results are
+    /// bit-identical regardless of the recorder.
+    pub fn run_collect_obs<R: Recorder>(
+        &self,
+        sweep: &Sweep,
+        filter: Option<&str>,
+        progress: Option<&ProgressFn>,
+        obs: &R,
+    ) -> (SweepResults, RunStats) {
+        let prepare_watch = Stopwatch::<R>::start();
         let (world, cells, caches) = self.prepare(sweep, filter);
+        if R::ENABLED {
+            obs.phase_ns(Phase::Prepare, prepare_watch.elapsed_ns());
+            obs.add(Counter::CacheMisses, caches.artifact_count() as u64);
+        }
         let n = cells.len();
         let events = AtomicU64::new(0);
         let release_work = AtomicU64::new(0);
         let slots: Vec<Mutex<Option<CellMetrics>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        self.execute(&world, &caches, &cells, progress, &|index, metrics| {
-            events.fetch_add(metrics.events as u64, Ordering::Relaxed);
-            release_work.fetch_add(metrics.release_work, Ordering::Relaxed);
-            *slots[index].lock().expect("slot lock") = Some(metrics);
-        });
+        self.execute(
+            &world,
+            &caches,
+            &cells,
+            progress,
+            &|index, metrics| {
+                events.fetch_add(metrics.events as u64, Ordering::Relaxed);
+                release_work.fetch_add(metrics.release_work, Ordering::Relaxed);
+                *slots[index].lock().expect("slot lock") = Some(metrics);
+            },
+            obs,
+        );
         let results: Vec<CellMetrics> = slots
             .into_iter()
             .map(|slot| {
@@ -747,6 +815,34 @@ impl SweepRunner {
         progress: Option<&ProgressFn>,
         out: &mut W,
     ) -> std::io::Result<StreamSummary> {
+        self.run_streamed_range_obs(
+            sweep,
+            filter,
+            range,
+            write_header,
+            progress,
+            out,
+            &NoopRecorder,
+        )
+    }
+
+    /// [`run_streamed_range`](SweepRunner::run_streamed_range) with an
+    /// observability recorder (see
+    /// [`run_collect_obs`](SweepRunner::run_collect_obs); the streaming
+    /// path additionally books aggregate-row rendering to the `csv`
+    /// phase and counts `rows_flushed`). Output bytes are identical
+    /// regardless of the recorder.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_streamed_range_obs<W: Write + Send, R: Recorder>(
+        &self,
+        sweep: &Sweep,
+        filter: Option<&str>,
+        range: Option<std::ops::Range<usize>>,
+        write_header: bool,
+        progress: Option<&ProgressFn>,
+        out: &mut W,
+        obs: &R,
+    ) -> std::io::Result<StreamSummary> {
         let replicates = sweep.seeds.len().max(1);
         let cells: Vec<Cell> = match (filter.filter(|f| !f.is_empty()), &range) {
             // No filter: the range indexes the raw expansion order, so
@@ -769,7 +865,7 @@ impl SweepRunner {
                 }
             }
         };
-        self.run_streamed_cells(sweep, cells, write_header, progress, out)
+        self.run_streamed_cells(sweep, cells, write_header, progress, out, obs)
     }
 
     /// The streaming engine over an already-resolved cell list —
@@ -777,17 +873,23 @@ impl SweepRunner {
     /// expansion/filtering/slicing. Crate-internal so `shard::run_shard`
     /// can resolve its filtered assignment exactly once instead of
     /// re-expanding the grid per invocation.
-    pub(crate) fn run_streamed_cells<W: Write + Send>(
+    pub(crate) fn run_streamed_cells<W: Write + Send, R: Recorder>(
         &self,
         sweep: &Sweep,
         cells: Vec<Cell>,
         write_header: bool,
         progress: Option<&ProgressFn>,
         out: &mut W,
+        obs: &R,
     ) -> std::io::Result<StreamSummary> {
         sweep.validate().expect("invalid sweep");
         let replicates = sweep.seeds.len().max(1);
+        let prepare_watch = Stopwatch::<R>::start();
         let (world, caches) = self.prepare_cells(sweep, &cells);
+        if R::ENABLED {
+            obs.phase_ns(Phase::Prepare, prepare_watch.elapsed_ns());
+            obs.add(Counter::CacheMisses, caches.artifact_count() as u64);
+        }
         let n = cells.len();
         // Write *and flush* the header before any cell runs: a consumer
         // tailing the stream (or a test asserting liveness) must see the
@@ -810,12 +912,20 @@ impl SweepRunner {
             out,
             error: None,
             flushed: 0,
+            obs,
         });
-        self.execute(&world, &caches, &cells, progress, &|index, metrics| {
-            events.fetch_add(metrics.events as u64, Ordering::Relaxed);
-            release_work.fetch_add(metrics.release_work, Ordering::Relaxed);
-            sink.lock().expect("sink lock").offer(index, metrics);
-        });
+        self.execute(
+            &world,
+            &caches,
+            &cells,
+            progress,
+            &|index, metrics| {
+                events.fetch_add(metrics.events as u64, Ordering::Relaxed);
+                release_work.fetch_add(metrics.release_work, Ordering::Relaxed);
+                sink.lock().expect("sink lock").offer(index, metrics);
+            },
+            obs,
+        );
         let sink = sink.into_inner().expect("sink lock");
         if let Some(e) = sink.error {
             return Err(e);
@@ -874,21 +984,26 @@ impl SweepRunner {
 
     /// Executes every cell, fanning out across workers; results are
     /// reported to `sink` keyed by expansion index (any thread, any
-    /// order).
-    fn execute(
+    /// order). Each cell records one `cell` span on the recorder.
+    fn execute<R: Recorder>(
         &self,
         world: &SweepWorld,
         caches: &SweepCaches,
         cells: &[Cell],
         progress: Option<&ProgressFn>,
         sink: &(dyn Fn(usize, CellMetrics) + Sync),
+        obs: &R,
     ) {
         let n = cells.len();
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
             let mut arena = SimArena::new();
             for (i, c) in cells.iter().enumerate() {
-                let metrics = world.run_cell_in(&c.spec, caches, &mut arena);
+                let cell_watch = Stopwatch::<R>::start();
+                let metrics = world.run_cell_in_obs(&c.spec, caches, &mut arena, obs);
+                if R::ENABLED {
+                    obs.span_ns(SpanKind::Cell, cell_watch.elapsed_ns());
+                }
                 sink(i, metrics);
                 if let Some(cb) = progress {
                     cb(i + 1, n);
@@ -909,7 +1024,12 @@ impl SweepRunner {
                         if i >= n {
                             break;
                         }
-                        let metrics = world.run_cell_in(&cells[i].spec, caches, &mut arena);
+                        let cell_watch = Stopwatch::<R>::start();
+                        let metrics =
+                            world.run_cell_in_obs(&cells[i].spec, caches, &mut arena, obs);
+                        if R::ENABLED {
+                            obs.span_ns(SpanKind::Cell, cell_watch.elapsed_ns());
+                        }
                         sink(i, metrics);
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         if let Some(cb) = progress {
@@ -927,7 +1047,7 @@ impl SweepRunner {
 /// and flushes CSV rows strictly in expansion order. Memory held is the
 /// in-flight groups plus any completed-but-out-of-order summaries — not
 /// the whole grid.
-struct StreamSink<'a, W: Write> {
+struct StreamSink<'a, W: Write, R: Recorder> {
     replicates: usize,
     cells: &'a [Cell],
     /// Partially-filled configuration groups, keyed by config index.
@@ -938,9 +1058,10 @@ struct StreamSink<'a, W: Write> {
     out: &'a mut W,
     error: Option<std::io::Error>,
     flushed: usize,
+    obs: &'a R,
 }
 
-impl<W: Write> StreamSink<'_, W> {
+impl<W: Write, R: Recorder> StreamSink<'_, W, R> {
     fn offer(&mut self, index: usize, metrics: CellMetrics) {
         let config = index / self.replicates;
         let group = self
@@ -955,6 +1076,8 @@ impl<W: Write> StreamSink<'_, W> {
         let chunk: Vec<CellMetrics> = group.into_iter().map(|m| m.expect("full group")).collect();
         let spec = &self.cells[config * self.replicates].spec;
         self.parked.insert(config, CellSummary::of(spec, &chunk));
+        let csv_watch = Stopwatch::<R>::start();
+        let mut rows = 0u64;
         while let Some(summary) = self.parked.remove(&self.next_flush) {
             if self.error.is_none() {
                 let row = green_bench::export::csv_line(&summary.csv_row());
@@ -964,6 +1087,11 @@ impl<W: Write> StreamSink<'_, W> {
             }
             self.next_flush += 1;
             self.flushed += 1;
+            rows += 1;
+        }
+        if R::ENABLED && rows > 0 {
+            self.obs.phase_ns(Phase::Csv, csv_watch.elapsed_ns());
+            self.obs.add(Counter::RowsFlushed, rows);
         }
     }
 }

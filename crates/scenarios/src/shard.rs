@@ -30,8 +30,12 @@
 use std::io::{Read, Seek, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use green_obs::{Counter, NoopRecorder, Recorder, SpanKind, Stopwatch};
 
 use crate::agg::CSV_HEADERS;
+use crate::progress::{atomic_rewrite, current_rss_mb, ProgressRecord, ProgressWriter};
 use crate::runner::{ProgressFn, StreamSummary, SweepRunner};
 use crate::spec::SpecError;
 use crate::sweep::Sweep;
@@ -258,14 +262,12 @@ impl ShardManifest {
         ShardManifest::parse(&text).map_err(|e| invalid(format!("{}: {e}", path.display())))
     }
 
-    /// Writes the manifest sidecar of `csv` atomically (temp file +
-    /// rename), so a kill mid-checkpoint leaves the previous checkpoint
-    /// intact rather than a torn sidecar.
+    /// Writes the manifest sidecar of `csv` atomically (via
+    /// [`atomic_rewrite`], shared with the progress sidecar), so a kill
+    /// mid-checkpoint leaves the previous checkpoint intact rather than
+    /// a torn sidecar.
     pub fn store(&self, csv: &Path) -> std::io::Result<()> {
-        let path = manifest_path(csv);
-        let tmp = path.with_extension("manifest.tmp");
-        std::fs::write(&tmp, self.to_string())?;
-        std::fs::rename(&tmp, &path)
+        atomic_rewrite(&manifest_path(csv), &self.to_string())
     }
 }
 
@@ -332,17 +334,28 @@ pub struct ShardOutcome {
 /// FNV hash and checkpoints the manifest every `checkpoint_every` rows.
 /// The streaming sink issues exactly one `write` per CSV row (and
 /// `write` here always consumes the whole buffer), so rows can be
-/// counted at the write boundary.
-struct ShardWriter<'a> {
+/// counted at the write boundary. Every checkpoint also appends a
+/// heartbeat to the `.progress` sidecar (same atomic-rewrite cadence)
+/// and, under a recording [`Recorder`], books the checkpoint's cost as
+/// a [`SpanKind::Checkpoint`] span.
+struct ShardWriter<'a, R: Recorder> {
     file: std::fs::File,
     csv: &'a Path,
     manifest: ShardManifest,
     hash: Fnv1a,
     since_checkpoint: usize,
     checkpoint_every: usize,
+    /// Rows the whole assignment will produce (for ETA math).
+    expected_rows: usize,
+    /// Rows already on disk when this invocation started — rate math
+    /// counts only rows *this* invocation wrote.
+    resumed_rows: usize,
+    started: Instant,
+    progress: ProgressWriter,
+    obs: &'a R,
 }
 
-impl ShardWriter<'_> {
+impl<R: Recorder> ShardWriter<'_, R> {
     /// Absorbs non-row bytes (the header) into the checkpoint state.
     fn absorb_header(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         self.file.write_all(bytes)?;
@@ -353,15 +366,57 @@ impl ShardWriter<'_> {
     }
 
     fn checkpoint(&mut self) -> std::io::Result<()> {
+        let watch = Stopwatch::<R>::start();
         self.file.flush()?;
         self.manifest.hash = self.hash.0;
         self.manifest.store(self.csv)?;
+        self.heartbeat()?;
         self.since_checkpoint = 0;
+        if R::ENABLED {
+            self.obs.span_ns(SpanKind::Checkpoint, watch.elapsed_ns());
+            self.obs.add(Counter::Checkpoints, 1);
+        }
         Ok(())
+    }
+
+    /// Appends one progress record describing the checkpoint just taken.
+    fn heartbeat(&mut self) -> std::io::Result<()> {
+        let elapsed_s = self.started.elapsed().as_secs_f64();
+        let written = self.manifest.rows.saturating_sub(self.resumed_rows);
+        let rate = if elapsed_s > 0.0 && written > 0 {
+            written as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let remaining = self.expected_rows.saturating_sub(self.manifest.rows);
+        let eta_s = (!self.manifest.complete && rate > 0.0 && remaining > 0)
+            .then(|| remaining as f64 / rate);
+        let phases_ms = self
+            .obs
+            .snapshot()
+            .map(|s| {
+                s.phases_ms
+                    .iter()
+                    .map(|(name, ms)| (name.to_string(), *ms))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.progress.append(&ProgressRecord {
+            sweep: self.manifest.sweep.clone(),
+            shard: self.manifest.shard.clone(),
+            rows: self.manifest.rows,
+            expected_rows: self.expected_rows,
+            elapsed_s,
+            rate_rows_per_s: rate,
+            eta_s,
+            rss_mb: current_rss_mb(),
+            phases_ms,
+            complete: self.manifest.complete,
+        })
     }
 }
 
-impl Write for ShardWriter<'_> {
+impl<R: Recorder> Write for ShardWriter<'_, R> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         self.file.write_all(buf)?;
         self.hash.update(buf);
@@ -388,6 +443,20 @@ pub fn run_shard(
     runner: &SweepRunner,
     job: &ShardJob<'_>,
     progress: Option<&ProgressFn>,
+) -> std::io::Result<ShardOutcome> {
+    run_shard_obs(runner, job, progress, &NoopRecorder)
+}
+
+/// [`run_shard`] with an explicit observability recorder: checkpoint
+/// spans, resume verification and row-flush counters land in `obs`, and
+/// the `.progress` heartbeats carry the recorder's per-phase timing
+/// breakdown. With the default [`NoopRecorder`] every probe compiles
+/// away and only the (unconditional) progress sidecar remains.
+pub fn run_shard_obs<R: Recorder>(
+    runner: &SweepRunner,
+    job: &ShardJob<'_>,
+    progress: Option<&ProgressFn>,
+    obs: &R,
 ) -> std::io::Result<ShardOutcome> {
     let replicates = job.sweep.seeds.len().max(1);
     // Resolve the filtered grid and the assignment exactly once: the
@@ -490,6 +559,9 @@ pub fn run_shard(
         }
         file.set_len(manifest.bytes)?;
         file.seek(std::io::SeekFrom::End(0))?;
+        if R::ENABLED {
+            obs.add(Counter::ResumedRowsVerified, manifest.rows as u64);
+        }
         if manifest.complete {
             // Nothing to do — idempotent re-invocation after success.
             return Ok(ShardOutcome {
@@ -517,6 +589,11 @@ pub fn run_shard(
         hash,
         since_checkpoint: 0,
         checkpoint_every: job.checkpoint_every,
+        expected_rows,
+        resumed_rows,
+        started: Instant::now(),
+        progress: ProgressWriter::new(job.csv),
+        obs,
     };
     if resumed_rows == 0 && writer.manifest.bytes == 0 {
         // Every shard file carries the header — including a worker whose
@@ -535,7 +612,7 @@ pub fn run_shard(
         Some(filtered) => filtered[start..range.end].to_vec(),
         None => job.sweep.expand_range(start..range.end),
     };
-    let summary = runner.run_streamed_cells(job.sweep, cells, false, progress, &mut writer)?;
+    let summary = runner.run_streamed_cells(job.sweep, cells, false, progress, &mut writer, obs)?;
     debug_assert_eq!(resumed_rows + summary.configs, writer.manifest.rows);
     if writer.manifest.rows != expected_rows {
         return Err(invalid(format!(

@@ -1,0 +1,385 @@
+//! `scenarios watch`: a live view over a directory of shard outputs.
+//!
+//! A sharded sweep leaves two sidecars next to every shard CSV: the
+//! [`ShardManifest`] (authoritative rows/bytes checkpoint) and the
+//! `.progress` JSONL heartbeat trail ([`crate::progress`]). This module
+//! joins the two into a per-shard status table:
+//!
+//! * **scanning** ([`WatchReport::scan`]) reads every `*.manifest` in a
+//!   directory, pairs it with its progress sidecar, and samples the
+//!   sidecar's mtime for stall detection — the only wall-clock input;
+//! * **rendering** ([`WatchReport::render`]) is a pure function of the
+//!   report, so `tests/watch_golden.rs` can golden-test the exact
+//!   output of a finished run (finished shards show no rates, ETAs or
+//!   ages — those would differ run to run).
+//!
+//! The CLI wraps this as `scenarios watch <dir>`: `--once` prints one
+//! table (CI-friendly), the default loop redraws every few seconds.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::progress::{progress_path, ProgressRecord};
+use crate::shard::ShardManifest;
+
+/// Seconds without a heartbeat before an incomplete shard is reported
+/// as stalled. Checkpoints land every [`crate::CHECKPOINT_EVERY`] rows,
+/// so a healthy worker heartbeats far more often than this unless a
+/// single configuration takes minutes — stall detection is advisory.
+pub const STALL_AFTER_S: f64 = 60.0;
+
+/// One shard's joined status: manifest checkpoint, latest heartbeat,
+/// and how stale that heartbeat is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStatus {
+    /// The shard CSV file name (the manifest's path minus `.manifest`).
+    pub name: String,
+    /// The parsed manifest, or the parse error's text.
+    pub manifest: Result<ShardManifest, String>,
+    /// The newest progress record, if a sidecar exists and parses.
+    pub last: Option<ProgressRecord>,
+    /// Seconds since the progress sidecar was last rewritten (`None`
+    /// without a sidecar). Only sampled for incomplete shards — a
+    /// finished shard's age is irrelevant and would make rendering
+    /// non-deterministic.
+    pub heartbeat_age_s: Option<f64>,
+}
+
+impl ShardStatus {
+    fn complete(&self) -> bool {
+        self.manifest.as_ref().map(|m| m.complete).unwrap_or(false)
+    }
+
+    fn stalled(&self, stall_after_s: f64) -> bool {
+        !self.complete() && self.heartbeat_age_s.is_some_and(|age| age > stall_after_s)
+    }
+}
+
+/// Every shard found in one directory scan, ordered by assigned cell
+/// range (then name, for broken manifests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchReport {
+    /// Per-shard statuses in range order.
+    pub shards: Vec<ShardStatus>,
+    /// The stall threshold the report was scanned under (seconds).
+    pub stall_after_s: f64,
+}
+
+impl WatchReport {
+    /// Scans `dir` for `*.manifest` sidecars and joins each with its
+    /// progress trail. An empty directory is an error — `watch` pointed
+    /// at the wrong place should say so rather than render nothing.
+    pub fn scan(dir: &Path, stall_after_s: f64) -> io::Result<WatchReport> {
+        let mut shards = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(csv_name) = name.strip_suffix(".manifest") else {
+                continue;
+            };
+            let csv = path.with_file_name(csv_name);
+            shards.push(shard_status(&csv));
+        }
+        if shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{}: no shard manifests (*.manifest) found", dir.display()),
+            ));
+        }
+        shards.sort_by(|a, b| {
+            let key = |s: &ShardStatus| {
+                (
+                    s.manifest
+                        .as_ref()
+                        .map(|m| m.cells.start)
+                        .unwrap_or(usize::MAX),
+                    s.name.clone(),
+                )
+            };
+            key(a).cmp(&key(b))
+        });
+        Ok(WatchReport {
+            shards,
+            stall_after_s,
+        })
+    }
+
+    /// Renders the status table. Pure: same report, same bytes.
+    pub fn render(&self) -> String {
+        let mut rows: Vec<[String; 6]> = vec![[
+            "shard".into(),
+            "rows".into(),
+            "done".into(),
+            "rate".into(),
+            "eta".into(),
+            "status".into(),
+        ]];
+        let mut done = 0usize;
+        let mut total_rows = 0usize;
+        let mut expected_rows = 0usize;
+        for shard in &self.shards {
+            rows.push(self.row(shard));
+            if shard.complete() {
+                done += 1;
+            }
+            if let Ok(m) = &shard.manifest {
+                total_rows += m.rows;
+                expected_rows += (m.cells.end - m.cells.start) / m.replicates.max(1);
+            }
+        }
+        let widths: Vec<usize> = (0..6)
+            .map(|col| {
+                rows.iter()
+                    .map(|r| r[col].chars().count())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        for row in &rows {
+            for (col, cell) in row.iter().enumerate() {
+                if col > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                // Pad all but the last column to its width.
+                if col + 1 < row.len() {
+                    out.extend(std::iter::repeat_n(' ', widths[col] - cell.chars().count()));
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{}/{} shards complete — {}/{} rows\n",
+            done,
+            self.shards.len(),
+            total_rows,
+            expected_rows,
+        ));
+        out
+    }
+
+    /// True when every shard's manifest parses and says complete.
+    pub fn all_complete(&self) -> bool {
+        self.shards.iter().all(ShardStatus::complete)
+    }
+
+    fn row(&self, shard: &ShardStatus) -> [String; 6] {
+        let manifest = match &shard.manifest {
+            Ok(m) => m,
+            Err(e) => {
+                return [
+                    shard.name.clone(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    format!("bad manifest: {e}"),
+                ];
+            }
+        };
+        let expected = (manifest.cells.end - manifest.cells.start) / manifest.replicates.max(1);
+        let pct = if expected == 0 {
+            100.0
+        } else {
+            100.0 * manifest.rows as f64 / expected as f64
+        };
+        let (rate, eta) = match (&shard.last, manifest.complete) {
+            // Finished shards render without rates: deterministic.
+            (_, true) | (None, _) => ("—".into(), "—".into()),
+            (Some(last), false) => (
+                if last.rate_rows_per_s > 0.0 {
+                    format!("{:.1} rows/s", last.rate_rows_per_s)
+                } else {
+                    "—".into()
+                },
+                match last.eta_s {
+                    Some(eta) => human_duration(eta),
+                    None => "—".into(),
+                },
+            ),
+        };
+        let status = if manifest.complete {
+            "complete".into()
+        } else if shard.stalled(self.stall_after_s) {
+            format!(
+                "STALLED (no heartbeat for {})",
+                human_duration(shard.heartbeat_age_s.unwrap_or(0.0))
+            )
+        } else if shard.last.is_none() {
+            "no heartbeat yet".into()
+        } else {
+            "running".into()
+        };
+        [
+            manifest.shard.clone(),
+            format!("{}/{expected}", manifest.rows),
+            format!("{pct:.0}%"),
+            rate,
+            eta,
+            status,
+        ]
+    }
+}
+
+/// Joins one shard CSV's sidecars into a [`ShardStatus`].
+fn shard_status(csv: &Path) -> ShardStatus {
+    let name = csv
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| csv.display().to_string());
+    let manifest = ShardManifest::load(csv).map_err(|e| e.to_string());
+    let complete = manifest.as_ref().map(|m| m.complete).unwrap_or(false);
+    let progress = progress_path(csv);
+    let last = std::fs::read_to_string(&progress)
+        .ok()
+        .and_then(|text| ProgressRecord::parse_sidecar(&text).ok())
+        .and_then(|records| records.into_iter().next_back());
+    let heartbeat_age_s = if complete {
+        None
+    } else {
+        std::fs::metadata(&progress)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| mtime.elapsed().ok())
+            .map(|age| age.as_secs_f64())
+    };
+    ShardStatus {
+        name,
+        manifest,
+        last,
+        heartbeat_age_s,
+    }
+}
+
+/// `93.4` seconds → `"1m33s"`; sub-minute values keep one decimal.
+fn human_duration(seconds: f64) -> String {
+    if seconds < 60.0 {
+        format!("{seconds:.0}s")
+    } else if seconds < 3600.0 {
+        format!(
+            "{}m{:02}s",
+            (seconds / 60.0) as u64,
+            (seconds % 60.0) as u64
+        )
+    } else {
+        format!(
+            "{}h{:02}m",
+            (seconds / 3600.0) as u64,
+            ((seconds % 3600.0) / 60.0) as u64
+        )
+    }
+}
+
+/// One scan + render of `dir` with the default stall threshold — what
+/// `scenarios watch --once` prints.
+pub fn watch_once(dir: &Path) -> io::Result<String> {
+    Ok(WatchReport::scan(dir, STALL_AFTER_S)?.render())
+}
+
+/// The directory entries `watch` would consider, for callers that want
+/// to report what was found (the CLI's error path).
+pub fn manifest_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "manifest") {
+            found.push(path);
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(
+        shard: &str,
+        cells: std::ops::Range<usize>,
+        rows: usize,
+        complete: bool,
+    ) -> ShardManifest {
+        ShardManifest {
+            sweep: "demo".into(),
+            shard: shard.into(),
+            spec_hash: 0xabcd,
+            cells,
+            total_cells: 30,
+            replicates: 2,
+            rows,
+            bytes: 100,
+            hash: 0,
+            complete,
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_and_columns_align() {
+        let report = WatchReport {
+            shards: vec![
+                ShardStatus {
+                    name: "s0.csv".into(),
+                    manifest: Ok(manifest("0/3", 0..10, 5, true)),
+                    last: None,
+                    heartbeat_age_s: None,
+                },
+                ShardStatus {
+                    name: "s1.csv".into(),
+                    manifest: Ok(manifest("1/3", 10..20, 3, false)),
+                    last: Some(ProgressRecord {
+                        sweep: "demo".into(),
+                        shard: "1/3".into(),
+                        rows: 3,
+                        expected_rows: 5,
+                        elapsed_s: 2.0,
+                        rate_rows_per_s: 1.5,
+                        eta_s: Some(1.3),
+                        rss_mb: Some(40.0),
+                        phases_ms: vec![],
+                        complete: false,
+                    }),
+                    heartbeat_age_s: Some(1.0),
+                },
+            ],
+            stall_after_s: STALL_AFTER_S,
+        };
+        let a = report.render();
+        assert_eq!(a, report.render(), "render must be pure");
+        assert!(a.contains("complete"), "{a}");
+        assert!(a.contains("1.5 rows/s"), "{a}");
+        assert!(a.contains("1/2 shards complete — 8/10 rows"), "{a}");
+        assert!(!report.all_complete());
+    }
+
+    #[test]
+    fn stalls_flag_only_incomplete_shards() {
+        let stale = ShardStatus {
+            name: "s1.csv".into(),
+            manifest: Ok(manifest("1/3", 10..20, 3, false)),
+            last: None,
+            heartbeat_age_s: Some(120.0),
+        };
+        assert!(stale.stalled(STALL_AFTER_S));
+        let finished = ShardStatus {
+            manifest: Ok(manifest("1/3", 10..20, 5, true)),
+            ..stale.clone()
+        };
+        assert!(!finished.stalled(STALL_AFTER_S));
+        let report = WatchReport {
+            shards: vec![stale],
+            stall_after_s: STALL_AFTER_S,
+        };
+        assert!(report.render().contains("STALLED"), "{}", report.render());
+    }
+
+    #[test]
+    fn human_durations_read_naturally() {
+        assert_eq!(human_duration(4.2), "4s");
+        assert_eq!(human_duration(93.4), "1m33s");
+        assert_eq!(human_duration(4000.0), "1h06m");
+    }
+}

@@ -56,9 +56,20 @@ for key in $doc_keys; do
 done
 
 # 4. The README links every page of the book.
-for page in docs/architecture.md docs/sweep-format.md docs/cli.md; do
+for page in docs/architecture.md docs/sweep-format.md docs/cli.md \
+        docs/observability.md; do
     if ! grep -q "$page" README.md; then
         fail "README.md does not link $page"
+    fi
+done
+
+# 6. Every counter/phase wire name the recorder defines is documented in
+#    docs/observability.md — a new signal must land with its taxonomy row.
+obs_src=crates/obs/src/lib.rs
+wire_names=$(grep -oE '=> "[a-z_]+"' "$obs_src" | grep -oE '[a-z_]+' | sort -u)
+for name in $wire_names; do
+    if ! grep -q "\`$name\`" docs/observability.md; then
+        fail "recorder wire name \`$name\` is undocumented in docs/observability.md"
     fi
 done
 
