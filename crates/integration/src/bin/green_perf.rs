@@ -34,6 +34,14 @@
 //!   cells, configuration rows, events and realizations — the counters
 //!   that catch a broken range partitioner or a cache that stopped
 //!   sharing at scale.
+//! * `orchestrate_mega` — the **full** million-cell mega grid under the
+//!   fault-tolerant orchestrator ([`green_scenarios::orchestrate`]) with
+//!   four in-process workers (the deterministic `ThreadLauncher`: no
+//!   kills, no steals), hash-verified and auto-merged: the repo's first
+//!   multi-worker throughput number, measured on exactly the supervised
+//!   path `scenarios orchestrate` runs. The `retries`/`steals` counters
+//!   are zero-baseline tripwires — a deterministic run that recovers
+//!   from anything is a scheduling bug.
 //!
 //! Every bench also records the process peak RSS at completion
 //! (best-effort, Linux `/proc/self/status`; the high-water mark is
@@ -52,7 +60,7 @@
 //! scheduling behaviour itself changed.
 //!
 //! `--check` compares the run against a committed baseline
-//! (`BENCH_4.json`): deterministic-counter drift beyond `--tolerance`
+//! (`BENCH_7.json`): deterministic-counter drift beyond `--tolerance`
 //! (default 0.20) **fails**, and the failure message names each
 //! offending `bench.counter`; wall-time/RSS drift beyond
 //! `--wall-tolerance` (default 1.00, i.e. 2× slower) only warns — CI
@@ -68,7 +76,7 @@ use green_carbon::HourlyTrace;
 use green_machines::simulation_fleet;
 use green_obs::{NoopRecorder, Recorder, StatsRecorder};
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
-use green_scenarios::{Shard, Sweep, SweepRunner};
+use green_scenarios::{orchestrate, OrchestrateConfig, Shard, Sweep, SweepRunner, ThreadLauncher};
 use green_units::TimePoint;
 use green_workload::{Trace, TraceConfig};
 
@@ -291,6 +299,53 @@ fn bench_sweep_mega<R: Recorder>(obs: &R) -> PerfBench {
     }
 }
 
+/// Runs the full million-cell mega grid through the orchestrator on
+/// four in-process worker threads and merges the fragments — aggregate
+/// multi-worker cells/s plus the plan's deterministic counters. The
+/// `ThreadLauncher` cannot be killed, so the supervisor's stall-kill
+/// and steal paths stay off and every counter is exactly reproducible:
+/// `spawns == tasks`, `retries == steals == 0`.
+fn bench_orchestrate_mega() -> PerfBench {
+    let out_dir = std::env::temp_dir().join(format!("green-perf-orch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    std::fs::create_dir_all(&out_dir).expect("bench scratch dir");
+    let sweep_file = out_dir.join("mega_grid.toml");
+    std::fs::write(&sweep_file, MEGA_GRID_TOML).expect("bench sweep file");
+
+    let mut config = OrchestrateConfig::new(sweep_file, out_dir.join("run"), 4);
+    config.quiet = true;
+    let start = Instant::now();
+    let summary = orchestrate(&config, &ThreadLauncher).expect("orchestrated mega grid");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let bench = PerfBench {
+        name: "orchestrate_mega".into(),
+        wall_ms,
+        peak_rss_mb: peak_rss_mb(),
+        counters: vec![
+            ("cells".into(), summary.cells as f64),
+            ("rows".into(), summary.rows as f64),
+            ("tasks".into(), summary.tasks as f64),
+            ("spawns".into(), summary.spawns as f64),
+            ("retries".into(), summary.retries as f64),
+            ("steals".into(), summary.steals as f64),
+            ("merged_bytes".into(), summary.merged_bytes as f64),
+        ],
+        phases: vec![],
+        rates: vec![
+            (
+                "cells_per_s".into(),
+                summary.cells as f64 / (wall_ms / 1e3).max(1e-12),
+            ),
+            (
+                "rows_per_s".into(),
+                summary.rows as f64 / (wall_ms / 1e3).max(1e-12),
+            ),
+        ],
+    };
+    let _ = std::fs::remove_dir_all(&out_dir);
+    bench
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -351,6 +406,10 @@ fn main() {
                 rec(|r| bench_sweep("sweep_grid", SENSITIVITY_TOML, r)),
                 rec(|r| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, r)),
                 rec(bench_sweep_mega),
+                // The orchestrator spawns its own worker threads, so a
+                // per-bench recorder cannot attribute their work; it
+                // runs un-instrumented in both modes.
+                measured(bench_orchestrate_mega),
             ],
         }
     } else {
@@ -361,6 +420,7 @@ fn main() {
                 measured(|| bench_sweep("sweep_grid", SENSITIVITY_TOML, &NoopRecorder)),
                 measured(|| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, &NoopRecorder)),
                 measured(|| bench_sweep_mega(&NoopRecorder)),
+                measured(bench_orchestrate_mega),
             ],
         }
     };

@@ -13,11 +13,13 @@
 //!   --shard <I/N>        run shard I of an N-way split (implies --stream)
 //!   --cell-range <A..B>  run an explicit config-aligned cell range
 //!   --resume             continue a killed shard from its checkpoint
+//!   --checkpoint-every <rows>  rows between manifest checkpoints
 //!   --obs                record per-phase timings and work counters
 //!                        (shard runs; lands in the .progress sidecar)
 //!   --list               print the expanded cells and exit without running
 //!   --quiet              suppress the progress line
 //!
+//! scenarios orchestrate <sweep.toml> --workers <n> --out-dir <dir> [...]
 //! scenarios merge --out <merged.csv> [--partial] <shard.csv>...
 //! scenarios watch <dir> [--once] [--interval <s>]
 //! ```
@@ -27,8 +29,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use green_obs::{Recorder, StatsRecorder};
 use green_scenarios::{
-    cell_label, merge_shards, run_shard, run_shard_obs, watch, Shard, ShardAssignment, ShardJob,
-    ShardOutcome, Sweep, SweepRunner, WorkloadPreset, CHECKPOINT_EVERY,
+    cell_label, merge_shards, orchestrate, run_shard, run_shard_obs, watch, OrchestrateConfig,
+    ProcessLauncher, Shard, ShardAssignment, ShardChaos, ShardJob, ShardOutcome, Sweep,
+    SweepRunner, WorkloadPreset, CHECKPOINT_EVERY,
 };
 
 const USAGE: &str = "\
@@ -37,8 +40,14 @@ scenarios — parallel Monte-Carlo scenario sweeps over the batch simulator
 USAGE:
     scenarios <sweep.toml> [--out <file.csv>] [--stream] [--threads <n>]
               [--preset <micro|tiny|quick|paper>] [--filter <substr>]
-              [--shard <I/N>] [--cell-range <A..B>] [--resume] [--obs]
-              [--list] [--quiet]
+              [--shard <I/N>] [--cell-range <A..B>] [--resume]
+              [--checkpoint-every <rows>] [--obs] [--list] [--quiet]
+    scenarios orchestrate <sweep.toml> --workers <n> --out-dir <dir>
+              [--merged <file.csv>] [--preset <p>] [--filter <substr>]
+              [--max-attempts <n>] [--stall-after <seconds>]
+              [--poll-interval <ms>] [--no-steal]
+              [--min-steal-configs <n>] [--checkpoint-every <rows>]
+              [--worker-threads <n>] [--quiet]
     scenarios merge --out <merged.csv> [--partial] <shard.csv>...
     scenarios watch <dir> [--once] [--interval <seconds>]
 
@@ -73,6 +82,25 @@ docs/sweep-format.md for the full key reference.
 config columns, e.g. `adaptive/cba/0+1+2+3/2023/24/64/1.000/1.000/
 1.00/carbon:0.600/100.0`) contains the given substring — handy to
 iterate on one cell of a large grid.
+
+`scenarios orchestrate` owns the whole distributed run: it partitions
+the grid into one config-aligned range per worker, spawns `--workers`
+local worker processes, tails their `.manifest`/`.progress` sidecars
+for liveness, restarts or reassigns dead and stalled shards with capped
+backoff (`--max-attempts` failures per range fail the run,
+`--stall-after` seconds of heartbeat silence get a worker killed),
+splits the largest remaining range of a straggler onto idle workers
+(`--no-steal` disables; `--min-steal-configs` bounds the smallest piece
+worth splitting), and hash-verifies + auto-merges every fragment into
+`--merged` (default `<out-dir>/merged.csv`) — byte-identical to the
+single-process --stream run. Every scheduling decision is appended to
+`<out-dir>/orchestrate.jsonl`, which `scenarios watch <out-dir>` joins
+into its table. `--worker-threads` sets each worker's own thread count
+(default 1), `--poll-interval` the supervisor's scan cadence. See
+docs/orchestration.md.
+
+--checkpoint-every tunes rows between manifest checkpoints (default
+64): the heartbeat cadence, and the most work a kill can lose.
 
 Every shard run heartbeats a `<out>.progress` JSONL sidecar at each
 checkpoint (rows, rate, ETA, RSS). --obs additionally records per-phase
@@ -134,6 +162,126 @@ fn merge_main(args: &[String]) -> ! {
         }
         Err(e) => {
             eprintln!("error: merge: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `scenarios orchestrate` subcommand: drive a fleet of local
+/// worker processes over one sweep — plan, supervise, steal, merge.
+/// A deferred flag application — the config can only be built once the
+/// positional sweep file and required flags are all parsed.
+type ConfigOverride = Box<dyn FnOnce(&mut OrchestrateConfig)>;
+
+fn orchestrate_main(args: &[String]) -> ! {
+    let mut sweep_file: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut config_overrides: Vec<ConfigOverride> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("orchestrate {arg} needs {what}")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--workers" => {
+                let v = value("a worker count");
+                workers = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad worker count `{v}`"))),
+                );
+            }
+            "--out-dir" => out_dir = Some(PathBuf::from(value("a directory"))),
+            "--merged" => {
+                let v = PathBuf::from(value("a file path"));
+                config_overrides.push(Box::new(move |c| c.merged = Some(v)));
+            }
+            "--preset" => {
+                let v = value("a workload preset (micro|tiny|quick|paper)");
+                WorkloadPreset::parse(&v).unwrap_or_else(|e| fail(&e.to_string()));
+                config_overrides.push(Box::new(move |c| c.preset = Some(v)));
+            }
+            "--filter" => {
+                let v = value("a label substring");
+                config_overrides.push(Box::new(move |c| c.filter = Some(v)));
+            }
+            "--max-attempts" => {
+                let v = value("an attempt count");
+                let n: u32 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad attempt count `{v}`")));
+                config_overrides.push(Box::new(move |c| c.max_attempts = n.max(1)));
+            }
+            "--stall-after" => {
+                let v = value("a seconds count");
+                let s: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad stall threshold `{v}`")));
+                config_overrides.push(Box::new(move |c| c.stall_after_s = s));
+            }
+            "--poll-interval" => {
+                let v = value("a milliseconds count");
+                let ms: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad poll interval `{v}`")));
+                config_overrides.push(Box::new(move |c| c.poll_interval_ms = ms));
+            }
+            "--no-steal" => config_overrides.push(Box::new(|c| c.steal = false)),
+            "--min-steal-configs" => {
+                let v = value("a configuration count");
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad config count `{v}`")));
+                config_overrides.push(Box::new(move |c| c.min_steal_configs = n.max(1)));
+            }
+            "--checkpoint-every" => {
+                let v = value("a row count");
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad checkpoint interval `{v}`")));
+                config_overrides.push(Box::new(move |c| c.checkpoint_every = n.max(1)));
+            }
+            "--worker-threads" => {
+                let v = value("a thread count");
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad thread count `{v}`")));
+                config_overrides.push(Box::new(move |c| c.worker_threads = n));
+            }
+            "--quiet" => config_overrides.push(Box::new(|c| c.quiet = true)),
+            other if other.starts_with('-') => {
+                fail(&format!("unknown orchestrate option `{other}`"))
+            }
+            other => {
+                if sweep_file.replace(PathBuf::from(other)).is_some() {
+                    fail("more than one sweep file given");
+                }
+            }
+        }
+    }
+    let Some(sweep_file) = sweep_file else {
+        fail("orchestrate needs a sweep file");
+    };
+    let Some(out_dir) = out_dir else {
+        fail("orchestrate needs --out-dir <dir>");
+    };
+    let Some(workers) = workers else {
+        fail("orchestrate needs --workers <n>");
+    };
+    let mut config = OrchestrateConfig::new(sweep_file, out_dir, workers);
+    for apply in config_overrides {
+        apply(&mut config);
+    }
+    let launcher = ProcessLauncher::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: orchestrate: cannot locate own binary: {e}");
+        std::process::exit(1);
+    });
+    match orchestrate(&config, &launcher) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: orchestrate: {e}");
             std::process::exit(1);
         }
     }
@@ -213,6 +361,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("watch") {
         watch_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("orchestrate") {
+        orchestrate_main(&args[1..]);
+    }
 
     let mut sweep_path: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
@@ -222,6 +373,7 @@ fn main() {
     let mut shard: Option<Shard> = None;
     let mut cell_range: Option<core::ops::Range<usize>> = None;
     let mut resume = false;
+    let mut checkpoint_every = CHECKPOINT_EVERY;
     let mut obs = false;
     let mut list = false;
     let mut quiet = false;
@@ -268,6 +420,15 @@ fn main() {
                 cell_range = Some(parse_cell_range(v));
             }
             "--resume" => resume = true,
+            "--checkpoint-every" => {
+                let Some(v) = it.next() else {
+                    fail("--checkpoint-every needs a row count");
+                };
+                checkpoint_every = v
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .unwrap_or_else(|_| fail(&format!("bad checkpoint interval `{v}`")));
+            }
             "--obs" => obs = true,
             "--list" => list = true,
             "--quiet" => quiet = true,
@@ -393,7 +554,8 @@ fn main() {
             assignment,
             csv: &out,
             resume,
-            checkpoint_every: CHECKPOINT_EVERY,
+            checkpoint_every,
+            chaos: ShardChaos::from_env(),
         };
         let progress: Option<&green_scenarios::runner::ProgressFn> =
             if quiet { None } else { Some(&progress) };

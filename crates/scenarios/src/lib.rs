@@ -63,6 +63,7 @@
 //! ```
 
 pub mod agg;
+pub mod orchestrate;
 pub mod progress;
 pub mod runner;
 pub mod shard;
@@ -72,6 +73,11 @@ pub mod toml;
 pub mod watch;
 
 pub use agg::{Aggregate, CellSummary, SweepResults, CSV_HEADERS};
+pub use orchestrate::{
+    orchestrate, orchestrate_log_path, EventKind, Launcher, OrchestrateConfig, OrchestrateEvent,
+    OrchestrateSummary, Plan, ProcessLauncher, Task, TaskState, ThreadLauncher, WorkerHandle,
+    WorkerSpec, ORCHESTRATE_SCHEMA,
+};
 pub use progress::{
     atomic_rewrite, progress_path, ProgressRecord, ProgressWriter, PROGRESS_HISTORY,
     PROGRESS_SCHEMA,
@@ -82,8 +88,8 @@ pub use runner::{
 };
 pub use shard::{
     manifest_path, merge_shards, run_shard, run_shard_obs, shard_ranges, MergeSummary, Shard,
-    ShardAssignment, ShardJob, ShardManifest, ShardOutcome, CHECKPOINT_EVERY,
+    ShardAssignment, ShardChaos, ShardJob, ShardManifest, ShardOutcome, CHECKPOINT_EVERY,
 };
 pub use spec::{fleet_index, MethodSpec, PolicySpec, ScenarioSpec, SpecError};
 pub use sweep::{Cell, Sweep, WorkloadConfig, WorkloadPreset};
-pub use watch::{watch_once, ShardStatus, WatchReport};
+pub use watch::{heartbeat_age_s, watch_once, OrchestratorView, ShardStatus, WatchReport};

@@ -1,0 +1,289 @@
+//! The orchestrator's append-only audit trail:
+//! `<out-dir>/orchestrate.jsonl`.
+//!
+//! Every scheduling decision the supervisor takes — spawn, exit,
+//! stall-kill, retry, reassign, steal, merge — appends one
+//! [`OrchestrateEvent`] line via the shared [`append_line`] helper, so
+//! a concurrent reader (`scenarios watch`, the CI chaos job) sees
+//! either the old tail or a whole new record, never a torn one. The log
+//! is the *history*; the authoritative current state stays where it
+//! always was, in the per-fragment `.manifest`/`.progress` sidecars.
+//!
+//! Records share the flat one-line JSON dialect of the progress sidecar
+//! (`green-bench`'s [`Json`]), tagged `green-orchestrate/1`; the record
+//! names are documented in `docs/orchestration.md` and
+//! `tools/check_docs.sh` fails if one is added without documentation.
+
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use green_bench::json::{quote, Json};
+
+use crate::progress::append_line;
+use crate::spec::SpecError;
+
+/// Schema tag carried by every event record (first key).
+pub const ORCHESTRATE_SCHEMA: &str = "green-orchestrate/1";
+
+/// The event log path inside an orchestration output directory.
+pub fn orchestrate_log_path(dir: &Path) -> PathBuf {
+    dir.join("orchestrate.jsonl")
+}
+
+/// What happened. One variant per scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The initial partition: `detail` holds `tasks=N workers=M`.
+    Plan,
+    /// A worker launched for a task (`attempt` counts from 1).
+    Spawn,
+    /// A worker exited; `detail` says `complete` or carries the failure.
+    Exit,
+    /// A worker was killed for exceeding the stall threshold.
+    Stall,
+    /// A failed task was requeued to resume from its intact checkpoint.
+    Retry,
+    /// A failed task's checkpoint was unusable; its whole range was
+    /// requeued from scratch (fragment files removed).
+    Reassign,
+    /// A straggler's remaining range was split; `detail` names the new
+    /// task and the cut point.
+    Steal,
+    /// All fragments hash-verified and merged; `detail` holds
+    /// `rows=R bytes=B`.
+    Merge,
+    /// The run finished end to end.
+    Complete,
+    /// The run gave up (a task exhausted its attempt budget).
+    Failed,
+}
+
+impl EventKind {
+    /// The wire name (the `event` key's value).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Plan => "plan",
+            EventKind::Spawn => "spawn",
+            EventKind::Exit => "exit",
+            EventKind::Stall => "stall",
+            EventKind::Retry => "retry",
+            EventKind::Reassign => "reassign",
+            EventKind::Steal => "steal",
+            EventKind::Merge => "merge",
+            EventKind::Complete => "complete",
+            EventKind::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire name back to the variant.
+    pub fn parse(name: &str) -> Option<EventKind> {
+        [
+            EventKind::Plan,
+            EventKind::Spawn,
+            EventKind::Exit,
+            EventKind::Stall,
+            EventKind::Retry,
+            EventKind::Reassign,
+            EventKind::Steal,
+            EventKind::Merge,
+            EventKind::Complete,
+            EventKind::Failed,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+}
+
+/// One audit record: the decision plus whatever identifies its subject.
+/// Run-level events (`plan`, `merge`, `complete`, `failed`) carry no
+/// task/csv; task-level events carry all of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrchestrateEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// The task id, for task-level events.
+    pub task: Option<usize>,
+    /// The fragment CSV file name (not the full path — the log lives in
+    /// the same directory).
+    pub csv: Option<String>,
+    /// The task's cell range at the time of the event.
+    pub cells: Option<Range<usize>>,
+    /// The invocation number (1-based), for spawn/exit/retry events.
+    pub attempt: Option<u32>,
+    /// Free-text context (error text, split point, merge totals).
+    pub detail: Option<String>,
+}
+
+impl OrchestrateEvent {
+    /// A run-level event with only a detail string.
+    pub fn run_level(kind: EventKind, detail: impl Into<String>) -> OrchestrateEvent {
+        OrchestrateEvent {
+            kind,
+            task: None,
+            csv: None,
+            cells: None,
+            attempt: None,
+            detail: Some(detail.into()),
+        }
+    }
+
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\": {}, \"event\": {}",
+            quote(ORCHESTRATE_SCHEMA),
+            quote(self.kind.name()),
+        );
+        out.push_str(", \"task\": ");
+        match self.task {
+            Some(task) => out.push_str(&task.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"csv\": ");
+        match &self.csv {
+            Some(csv) => out.push_str(&quote(csv)),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"cells\": ");
+        match &self.cells {
+            Some(cells) => out.push_str(&quote(&format!("{}..{}", cells.start, cells.end))),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"attempt\": ");
+        match self.attempt {
+            Some(attempt) => out.push_str(&attempt.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"detail\": ");
+        match &self.detail {
+            Some(detail) => out.push_str(&quote(detail)),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSON line previously written by
+    /// [`to_json_line`](Self::to_json_line).
+    pub fn parse(line: &str) -> Result<OrchestrateEvent, SpecError> {
+        let bad = |m: &str| SpecError(format!("bad orchestrate event: {m}"));
+        let v = Json::parse(line).map_err(|e| bad(&e))?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing `schema`"))?;
+        if schema != ORCHESTRATE_SCHEMA {
+            return Err(bad(&format!(
+                "schema `{schema}` (this build reads `{ORCHESTRATE_SCHEMA}`)"
+            )));
+        }
+        let name = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing `event`"))?;
+        let kind = EventKind::parse(name).ok_or_else(|| bad(&format!("unknown event `{name}`")))?;
+        let cells = match v.get("cells").and_then(Json::as_str) {
+            None => None,
+            Some(text) => Some(
+                text.split_once("..")
+                    .and_then(|(a, b)| {
+                        let start: usize = a.parse().ok()?;
+                        let end: usize = b.parse().ok()?;
+                        Some(start..end)
+                    })
+                    .ok_or_else(|| bad(&format!("bad `cells` range `{text}`")))?,
+            ),
+        };
+        Ok(OrchestrateEvent {
+            kind,
+            task: v.get("task").and_then(Json::as_number).map(|n| n as usize),
+            csv: v.get("csv").and_then(Json::as_str).map(str::to_string),
+            cells,
+            attempt: v.get("attempt").and_then(Json::as_number).map(|n| n as u32),
+            detail: v.get("detail").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+
+    /// Parses a whole log (one record per non-empty line, oldest first).
+    pub fn parse_log(text: &str) -> Result<Vec<OrchestrateEvent>, SpecError> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(OrchestrateEvent::parse)
+            .collect()
+    }
+
+    /// Appends this event to `dir`'s log. Best-effort durability is the
+    /// supervisor's call; the writes themselves are single short
+    /// appends (see [`append_line`]).
+    pub fn log(&self, dir: &Path) -> io::Result<()> {
+        append_line(&orchestrate_log_path(dir), &self.to_json_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips_by_name() {
+        for kind in [
+            EventKind::Plan,
+            EventKind::Spawn,
+            EventKind::Exit,
+            EventKind::Stall,
+            EventKind::Retry,
+            EventKind::Reassign,
+            EventKind::Steal,
+            EventKind::Merge,
+            EventKind::Complete,
+            EventKind::Failed,
+        ] {
+            assert_eq!(EventKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("restart"), None);
+    }
+
+    #[test]
+    fn events_roundtrip_including_nulls() {
+        let full = OrchestrateEvent {
+            kind: EventKind::Steal,
+            task: Some(2),
+            csv: Some("frag-0002.csv".into()),
+            cells: Some(40..100),
+            attempt: Some(3),
+            detail: Some("split at 70 -> task 5".into()),
+        };
+        assert_eq!(OrchestrateEvent::parse(&full.to_json_line()).unwrap(), full);
+        let bare = OrchestrateEvent::run_level(EventKind::Complete, "ok");
+        let line = bare.to_json_line();
+        assert!(line.contains("\"task\": null"), "{line}");
+        assert_eq!(OrchestrateEvent::parse(&line).unwrap(), bare);
+    }
+
+    #[test]
+    fn parse_rejects_other_schemas_and_unknown_events() {
+        let line = OrchestrateEvent::run_level(EventKind::Plan, "x").to_json_line();
+        assert!(OrchestrateEvent::parse(&line.replace("green-orchestrate/1", "v9")).is_err());
+        assert!(OrchestrateEvent::parse(&line.replace("\"plan\"", "\"warp\"")).is_err());
+        assert!(OrchestrateEvent::parse("not json").is_err());
+    }
+
+    #[test]
+    fn log_appends_in_order() {
+        let dir = std::env::temp_dir().join(format!("green-orch-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        OrchestrateEvent::run_level(EventKind::Plan, "tasks=2")
+            .log(&dir)
+            .unwrap();
+        OrchestrateEvent::run_level(EventKind::Complete, "ok")
+            .log(&dir)
+            .unwrap();
+        let text = std::fs::read_to_string(orchestrate_log_path(&dir)).unwrap();
+        let events = OrchestrateEvent::parse_log(&text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Plan);
+        assert_eq!(events[1].kind, EventKind::Complete);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,208 @@
+//! The orchestrator's work ledger: tasks over config-aligned cell
+//! ranges, and the split arithmetic behind work-stealing.
+//!
+//! A [`Plan`] starts as [`shard_ranges`]' N-way partition and evolves
+//! only through [`Plan::split`] — cutting one task's remaining range at
+//! a configuration boundary. Splitting never creates or destroys cells,
+//! so the ledger's tasks remain a **disjoint exact cover** of
+//! `0..total_cells` for the run's whole life; that invariant is what
+//! makes the final merge's contiguous-tiling check a completeness proof
+//! rather than a hope. `tests/orchestrate_properties.rs` drives random
+//! split sequences against [`Plan::verify_exact_cover`].
+
+use std::ops::Range;
+
+use crate::shard::shard_ranges;
+use crate::spec::SpecError;
+
+/// Where a task is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting for a worker slot (fresh, or queued for retry).
+    Pending,
+    /// A worker is currently running it.
+    Running,
+    /// Its manifest verified complete over exactly its range.
+    Done,
+}
+
+/// One unit of assignable work: a contiguous, config-aligned cell range
+/// and its scheduling history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Stable identity (also names the fragment CSV, `frag-NNNN.csv`).
+    pub id: usize,
+    /// The assigned half-open cell range (expansion order).
+    pub cells: Range<usize>,
+    /// Failed invocations so far (retries consume the attempt budget;
+    /// steals do not — a stolen-from worker did nothing wrong).
+    pub attempts: u32,
+    /// Total worker launches, failures and steals included.
+    pub spawns: u32,
+    /// Lifecycle state.
+    pub state: TaskState,
+}
+
+impl Task {
+    /// Configurations in the task's range.
+    pub fn configs(&self, replicates: usize) -> usize {
+        (self.cells.end - self.cells.start) / replicates.max(1)
+    }
+}
+
+/// The full work ledger: every task ever planned (split tails
+/// included), plus the grid dimensions the ranges index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// All tasks, in creation order (initial partition first, split
+    /// tails appended).
+    pub tasks: Vec<Task>,
+    /// Cells in the (possibly filtered) grid — the cover target.
+    pub total_cells: usize,
+    /// Replicates per configuration; every range boundary is a multiple.
+    pub replicates: usize,
+}
+
+impl Plan {
+    /// The initial N-way partition: [`shard_ranges`] balanced to one
+    /// configuration, with empty ranges dropped (a 3-config grid under
+    /// 8 workers yields 3 tasks, not 8).
+    pub fn partition(configs: usize, replicates: usize, workers: usize) -> Plan {
+        let replicates = replicates.max(1);
+        let tasks = shard_ranges(configs, replicates, workers.max(1))
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .enumerate()
+            .map(|(id, cells)| Task {
+                id,
+                cells,
+                attempts: 0,
+                spawns: 0,
+                state: TaskState::Pending,
+            })
+            .collect();
+        Plan {
+            tasks,
+            total_cells: configs * replicates,
+            replicates,
+        }
+    }
+
+    /// Splits task `id` at cell `at`, shrinking it to `start..at` and
+    /// appending a new pending task over `at..end`. Returns the new
+    /// task's id. `at` must be strictly inside the range and
+    /// configuration-aligned — a replicate group never straddles tasks,
+    /// for the same reason [`shard_ranges`] balances configurations.
+    pub fn split(&mut self, id: usize, at: usize) -> Result<usize, SpecError> {
+        let task = self
+            .tasks
+            .get_mut(id)
+            .ok_or_else(|| SpecError(format!("split: no task {id}")))?;
+        if at <= task.cells.start || at >= task.cells.end {
+            return Err(SpecError(format!(
+                "split: cell {at} not strictly inside task {id} ({}..{})",
+                task.cells.start, task.cells.end
+            )));
+        }
+        if !at.is_multiple_of(self.replicates) {
+            return Err(SpecError(format!(
+                "split: cell {at} not aligned to {} replicates",
+                self.replicates
+            )));
+        }
+        let tail = at..task.cells.end;
+        task.cells.end = at;
+        let new_id = self.tasks.len();
+        self.tasks.push(Task {
+            id: new_id,
+            cells: tail,
+            attempts: 0,
+            spawns: 0,
+            state: TaskState::Pending,
+        });
+        Ok(new_id)
+    }
+
+    /// Verifies the exact-cover invariant: task ranges, sorted by
+    /// start, are non-empty, config-aligned, disjoint, and tile
+    /// `0..total_cells` with no gap.
+    pub fn verify_exact_cover(&self) -> Result<(), SpecError> {
+        let mut ranges: Vec<&Range<usize>> = self.tasks.iter().map(|t| &t.cells).collect();
+        ranges.sort_by_key(|r| r.start);
+        let mut expected = 0usize;
+        for r in ranges {
+            if r.is_empty() {
+                return Err(SpecError(format!(
+                    "plan: empty range {}..{}",
+                    r.start, r.end
+                )));
+            }
+            if r.start % self.replicates != 0 || r.end % self.replicates != 0 {
+                return Err(SpecError(format!(
+                    "plan: range {}..{} not aligned to {} replicates",
+                    r.start, r.end, self.replicates
+                )));
+            }
+            if r.start != expected {
+                return Err(SpecError(format!(
+                    "plan: range {}..{} starts at {} where {expected} was needed \
+                     (gap or overlap)",
+                    r.start, r.end, r.start
+                )));
+            }
+            expected = r.end;
+        }
+        if expected != self.total_cells {
+            return Err(SpecError(format!(
+                "plan: ranges cover 0..{expected} of {} cells",
+                self.total_cells
+            )));
+        }
+        Ok(())
+    }
+
+    /// True once every task is done.
+    pub fn all_done(&self) -> bool {
+        self.tasks.iter().all(|t| t.state == TaskState::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_drops_empty_ranges_and_covers_the_grid() {
+        let plan = Plan::partition(3, 2, 8);
+        assert_eq!(plan.tasks.len(), 3);
+        plan.verify_exact_cover().unwrap();
+        let wide = Plan::partition(100, 5, 4);
+        assert_eq!(wide.tasks.len(), 4);
+        wide.verify_exact_cover().unwrap();
+    }
+
+    #[test]
+    fn split_preserves_the_cover_and_rejects_bad_cuts() {
+        let mut plan = Plan::partition(10, 2, 2);
+        let new = plan.split(0, 4).unwrap();
+        assert_eq!(plan.tasks[0].cells, 0..4);
+        assert_eq!(plan.tasks[new].cells, 4..10);
+        plan.verify_exact_cover().unwrap();
+
+        // Misaligned, boundary, and out-of-range cuts are refused.
+        assert!(plan.split(0, 3).is_err(), "misaligned");
+        assert!(plan.split(0, 0).is_err(), "at start");
+        assert!(plan.split(0, 4).is_err(), "at end");
+        assert!(plan.split(99, 2).is_err(), "no such task");
+        plan.verify_exact_cover().unwrap();
+    }
+
+    #[test]
+    fn cover_verification_catches_gaps_and_overlaps() {
+        let mut plan = Plan::partition(6, 1, 2);
+        plan.tasks[0].cells = 0..2; // leaves a 2..3 gap
+        assert!(plan.verify_exact_cover().is_err());
+        plan.tasks[0].cells = 0..4; // overlaps task 1 (3..6)
+        assert!(plan.verify_exact_cover().is_err());
+    }
+}

@@ -51,6 +51,25 @@ pub fn atomic_rewrite(path: &Path, contents: &str) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// Appends one line to `path` (created if missing). The complement of
+/// [`atomic_rewrite`] for grow-only logs: the orchestrator's
+/// `orchestrate.jsonl` event log and the terminal `"failed"` record a
+/// dying shard appends to its (already bounded) progress sidecar both
+/// go through here — one short `write` per line, so concurrent readers
+/// see either the old tail or the new line, never a torn record split
+/// across reads.
+pub fn append_line(path: &Path, line: &str) -> io::Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut text = String::with_capacity(line.len() + 1);
+    text.push_str(line);
+    text.push('\n');
+    file.write_all(text.as_bytes())
+}
+
 /// One heartbeat from a shard worker: a snapshot of where the run is
 /// and how fast it is moving. Serialized as one JSON line.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +95,14 @@ pub struct ProgressRecord {
     /// Per-phase wall milliseconds from the observability recorder —
     /// empty when the worker ran with the default no-op recorder.
     pub phases_ms: Vec<(String, f64)>,
+    /// True on the terminal record of a shard invocation that died on an
+    /// error or panic ([`crate::run_shard`] appends it on the way down),
+    /// so a consumer can tell a crash (terminal `failed` record) from a
+    /// stall (heartbeats simply stop — the SIGKILL case).
+    pub failed: bool,
+    /// The error text of a `failed` record; `None` on healthy
+    /// heartbeats.
+    pub error: Option<String>,
     /// True on the final record of a finished shard.
     pub complete: bool,
 }
@@ -111,7 +138,13 @@ impl ProgressRecord {
             }
             out.push_str(&format!("{}: {}", quote(name), fmt_num(*ms)));
         }
-        out.push_str(&format!("}}, \"complete\": {}}}", self.complete));
+        out.push_str(&format!("}}, \"failed\": {}", self.failed));
+        out.push_str(", \"error\": ");
+        match &self.error {
+            Some(error) => out.push_str(&quote(error)),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(", \"complete\": {}}}", self.complete));
         out
     }
 
@@ -162,6 +195,10 @@ impl ProgressRecord {
             eta_s: optional("eta_s"),
             rss_mb: optional("rss_mb"),
             phases_ms,
+            // `failed`/`error` joined the schema with the orchestrator:
+            // absent (old sidecars) reads as a healthy record.
+            failed: v.get("failed").and_then(Json::as_bool).unwrap_or(false),
+            error: v.get("error").and_then(Json::as_str).map(str::to_string),
             complete: v
                 .get("complete")
                 .and_then(Json::as_bool)
@@ -247,6 +284,8 @@ mod tests {
             eta_s: Some(81.25),
             rss_mb: Some(48.7),
             phases_ms: vec![("schedule".into(), 6200.0), ("events".into(), 3100.5)],
+            failed: false,
+            error: None,
             complete: false,
         }
     }
@@ -266,6 +305,40 @@ mod tests {
         assert!(line.contains("\"eta_s\": null"), "{line}");
         assert!(line.contains("\"complete\": true"), "{line}");
         assert_eq!(ProgressRecord::parse(&line).unwrap(), bare);
+    }
+
+    #[test]
+    fn failed_records_roundtrip_and_old_records_read_healthy() {
+        let failed = ProgressRecord {
+            failed: true,
+            error: Some("chaos: injected failure after 3 rows".into()),
+            ..record()
+        };
+        let line = failed.to_json_line();
+        assert!(line.contains("\"failed\": true"), "{line}");
+        assert_eq!(ProgressRecord::parse(&line).unwrap(), failed);
+        // A pre-orchestrator record (no `failed`/`error` keys) still
+        // parses, as a healthy record.
+        let old = record()
+            .to_json_line()
+            .replace(", \"failed\": false, \"error\": null", "");
+        let parsed = ProgressRecord::parse(&old).unwrap();
+        assert!(!parsed.failed);
+        assert_eq!(parsed.error, None);
+    }
+
+    #[test]
+    fn append_line_grows_a_log_without_rewriting_it() {
+        let dir = std::env::temp_dir().join(format!("green-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("events.jsonl");
+        append_line(&log, "{\"a\": 1}").unwrap();
+        append_line(&log, "{\"b\": 2}").unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&log).unwrap(),
+            "{\"a\": 1}\n{\"b\": 2}\n"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -282,6 +282,44 @@ fn invalid(message: impl Into<String>) -> std::io::Error {
 /// traffic on million-cell grids.
 pub const CHECKPOINT_EVERY: usize = 64;
 
+/// Deterministic failure injection for fault-tolerance tests: the knobs
+/// the chaos tests (and the CI chaos job's in-repo rehearsal) use to
+/// make a shard worker die or straggle at an exact, reproducible point.
+/// All-`None`/zero (the [`Default`]) injects nothing and costs nothing.
+///
+/// The `scenarios` CLI wires these from the environment
+/// ([`ShardChaos::from_env`]): `SCENARIOS_CHAOS_FAIL_ROWS` (error out
+/// after N rows), `SCENARIOS_CHAOS_PANIC_ROWS` (panic after N rows),
+/// `SCENARIOS_CHAOS_SLEEP_MS` (sleep per row — a synthetic straggler
+/// for work-stealing tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardChaos {
+    /// Return an I/O error after this many rows written by this
+    /// invocation (resumed rows not counted).
+    pub fail_after_rows: Option<usize>,
+    /// Panic after this many rows written by this invocation — the
+    /// "worker process dies mid-cell" shape.
+    pub panic_after_rows: Option<usize>,
+    /// Sleep this long before each row — a deterministic straggler.
+    pub sleep_per_row_ms: u64,
+}
+
+impl ShardChaos {
+    /// Reads the chaos knobs from the environment (unset or unparsable
+    /// variables inject nothing).
+    pub fn from_env() -> ShardChaos {
+        let rows = |key: &str| std::env::var(key).ok().and_then(|v| v.parse().ok());
+        ShardChaos {
+            fail_after_rows: rows("SCENARIOS_CHAOS_FAIL_ROWS"),
+            panic_after_rows: rows("SCENARIOS_CHAOS_PANIC_ROWS"),
+            sleep_per_row_ms: std::env::var("SCENARIOS_CHAOS_SLEEP_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+        }
+    }
+}
+
 /// Which slice of the (filtered) grid a worker runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShardAssignment {
@@ -312,6 +350,8 @@ pub struct ShardJob<'a> {
     pub resume: bool,
     /// Rows between checkpoints ([`CHECKPOINT_EVERY`] for the CLI).
     pub checkpoint_every: usize,
+    /// Failure injection for fault-tolerance tests (default: none).
+    pub chaos: ShardChaos,
 }
 
 /// What [`run_shard`] reports.
@@ -352,6 +392,7 @@ struct ShardWriter<'a, R: Recorder> {
     resumed_rows: usize,
     started: Instant,
     progress: ProgressWriter,
+    chaos: ShardChaos,
     obs: &'a R,
 }
 
@@ -411,6 +452,8 @@ impl<R: Recorder> ShardWriter<'_, R> {
             eta_s,
             rss_mb: current_rss_mb(),
             phases_ms,
+            failed: false,
+            error: None,
             complete: self.manifest.complete,
         })
     }
@@ -418,6 +461,24 @@ impl<R: Recorder> ShardWriter<'_, R> {
 
 impl<R: Recorder> Write for ShardWriter<'_, R> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        // Failure injection happens at the row boundary — the exact
+        // place a real crash tears a shard — so the fault-tolerance
+        // tests exercise the same checkpoint/resume machinery a SIGKILL
+        // does, deterministically.
+        let written = self.manifest.rows - self.resumed_rows;
+        if self.chaos.sleep_per_row_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.chaos.sleep_per_row_ms,
+            ));
+        }
+        if self.chaos.fail_after_rows.is_some_and(|n| written >= n) {
+            return Err(std::io::Error::other(format!(
+                "chaos: injected failure after {written} rows"
+            )));
+        }
+        if self.chaos.panic_after_rows.is_some_and(|n| written >= n) {
+            panic!("chaos: injected panic after {written} rows");
+        }
         self.file.write_all(buf)?;
         self.hash.update(buf);
         self.manifest.bytes += buf.len() as u64;
@@ -452,7 +513,77 @@ pub fn run_shard(
 /// the `.progress` heartbeats carry the recorder's per-phase timing
 /// breakdown. With the default [`NoopRecorder`] every probe compiles
 /// away and only the (unconditional) progress sidecar remains.
+///
+/// A shard invocation that dies must leave a non-ambiguous state: on
+/// any error *or panic* this wrapper appends a terminal `"failed"`
+/// record to the `.progress` sidecar before propagating, so a
+/// supervisor (and `scenarios watch`) can tell a crash from a stall —
+/// only a SIGKILL leaves no terminal record, and that is exactly the
+/// case heartbeat-age stall detection covers.
 pub fn run_shard_obs<R: Recorder>(
+    runner: &SweepRunner,
+    job: &ShardJob<'_>,
+    progress: Option<&ProgressFn>,
+    obs: &R,
+) -> std::io::Result<ShardOutcome> {
+    let started = Instant::now();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_shard_inner(runner, job, progress, obs)
+    }));
+    match attempt {
+        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Err(error)) => {
+            record_failure(job, started, &error.to_string());
+            Err(error)
+        }
+        Err(panic) => {
+            let text = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("panic (non-string payload)");
+            record_failure(job, started, &format!("panic: {text}"));
+            std::panic::resume_unwind(panic)
+        }
+    }
+}
+
+/// Appends the terminal `"failed"` progress record of a dying shard
+/// invocation. Best-effort by design (the worker is already on its
+/// error path); [`append_line`] preserves the sidecar's existing
+/// heartbeat history — the flight record of *how* the run got here.
+fn record_failure(job: &ShardJob<'_>, started: Instant, error: &str) {
+    let label = match &job.assignment {
+        ShardAssignment::Shard(shard) => format!("{}/{}", shard.index, shard.of),
+        ShardAssignment::Cells(range) => format!("cells:{}..{}", range.start, range.end),
+        ShardAssignment::Whole => "0/1".to_string(),
+    };
+    // The manifest checkpoint (if one exists) is the authoritative
+    // rows-done count at death; a pre-manifest failure reports 0.
+    let (rows, expected_rows) = ShardManifest::load(job.csv)
+        .map(|m| (m.rows, (m.cells.end - m.cells.start) / m.replicates.max(1)))
+        .unwrap_or((0, 0));
+    let record = ProgressRecord {
+        sweep: job.sweep.name.clone(),
+        shard: label,
+        rows,
+        expected_rows,
+        elapsed_s: started.elapsed().as_secs_f64(),
+        rate_rows_per_s: 0.0,
+        eta_s: None,
+        rss_mb: current_rss_mb(),
+        phases_ms: Vec::new(),
+        failed: true,
+        error: Some(error.to_string()),
+        complete: false,
+    };
+    let _ = crate::progress::append_line(
+        &crate::progress::progress_path(job.csv),
+        &record.to_json_line(),
+    );
+}
+
+fn run_shard_inner<R: Recorder>(
     runner: &SweepRunner,
     job: &ShardJob<'_>,
     progress: Option<&ProgressFn>,
@@ -593,6 +724,7 @@ pub fn run_shard_obs<R: Recorder>(
         resumed_rows,
         started: Instant::now(),
         progress: ProgressWriter::new(job.csv),
+        chaos: job.chaos,
         obs,
     };
     if resumed_rows == 0 && writer.manifest.bytes == 0 {

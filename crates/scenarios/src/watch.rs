@@ -19,6 +19,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::orchestrate::events::{orchestrate_log_path, EventKind, OrchestrateEvent};
 use crate::progress::{progress_path, ProgressRecord};
 use crate::shard::ShardManifest;
 
@@ -55,6 +56,65 @@ impl ShardStatus {
     }
 }
 
+/// What the orchestrator's event log adds to a watch: per-fragment
+/// invocation counts and run-wide recovery totals. Present only when
+/// the scanned directory holds an `orchestrate.jsonl` — a plain
+/// hand-sharded directory renders exactly as it did before the
+/// orchestrator existed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OrchestratorView {
+    /// Worker launches per fragment CSV name.
+    pub spawns: Vec<(String, u32)>,
+    /// Failed invocations requeued with an intact checkpoint.
+    pub retries: usize,
+    /// Failed invocations requeued from scratch.
+    pub reassigns: usize,
+    /// Range splits onto idle workers.
+    pub steals: usize,
+    /// Stall kills.
+    pub stalls: usize,
+    /// True once the log carries a `complete` record.
+    pub complete: bool,
+    /// True once the log carries a `failed` record (run gave up).
+    pub failed: bool,
+}
+
+impl OrchestratorView {
+    /// Folds an event log into the view (oldest record first).
+    pub fn from_events(events: &[OrchestrateEvent]) -> OrchestratorView {
+        let mut view = OrchestratorView::default();
+        for event in events {
+            match event.kind {
+                EventKind::Spawn => {
+                    if let Some(csv) = &event.csv {
+                        match view.spawns.iter_mut().find(|(name, _)| name == csv) {
+                            Some((_, count)) => *count += 1,
+                            None => view.spawns.push((csv.clone(), 1)),
+                        }
+                    }
+                }
+                EventKind::Retry => view.retries += 1,
+                EventKind::Reassign => view.reassigns += 1,
+                EventKind::Steal => view.steals += 1,
+                EventKind::Stall => view.stalls += 1,
+                EventKind::Complete => view.complete = true,
+                EventKind::Failed => view.failed = true,
+                EventKind::Plan | EventKind::Exit | EventKind::Merge => {}
+            }
+        }
+        view
+    }
+
+    /// Launches of the fragment named `csv` (0 when never spawned).
+    pub fn spawns_of(&self, csv: &str) -> u32 {
+        self.spawns
+            .iter()
+            .find(|(name, _)| name == csv)
+            .map(|(_, count)| *count)
+            .unwrap_or(0)
+    }
+}
+
 /// Every shard found in one directory scan, ordered by assigned cell
 /// range (then name, for broken manifests).
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +123,8 @@ pub struct WatchReport {
     pub shards: Vec<ShardStatus>,
     /// The stall threshold the report was scanned under (seconds).
     pub stall_after_s: f64,
+    /// Orchestrator state, when the directory carries an event log.
+    pub orchestrator: Option<OrchestratorView>,
 }
 
 impl WatchReport {
@@ -100,22 +162,38 @@ impl WatchReport {
             };
             key(a).cmp(&key(b))
         });
+        let orchestrator = match std::fs::read_to_string(orchestrate_log_path(dir)) {
+            Ok(text) => Some(OrchestratorView::from_events(
+                &OrchestrateEvent::parse_log(&text).unwrap_or_default(),
+            )),
+            Err(_) => None,
+        };
         Ok(WatchReport {
             shards,
             stall_after_s,
+            orchestrator,
         })
     }
 
-    /// Renders the status table. Pure: same report, same bytes.
+    /// Renders the status table. Pure: same report, same bytes. An
+    /// orchestrated directory (event log present) gains an `att` column
+    /// (worker launches per fragment) and a recovery-totals footer; a
+    /// plain shard directory renders byte-identically to before the
+    /// orchestrator existed (`tests/watch_golden.rs` pins both).
     pub fn render(&self) -> String {
-        let mut rows: Vec<[String; 6]> = vec![[
-            "shard".into(),
+        let mut header = vec![
+            "shard".to_string(),
             "rows".into(),
             "done".into(),
             "rate".into(),
             "eta".into(),
-            "status".into(),
-        ]];
+        ];
+        if self.orchestrator.is_some() {
+            header.push("att".into());
+        }
+        header.push("status".into());
+        let columns = header.len();
+        let mut rows: Vec<Vec<String>> = vec![header];
         let mut done = 0usize;
         let mut total_rows = 0usize;
         let mut expected_rows = 0usize;
@@ -129,7 +207,7 @@ impl WatchReport {
                 expected_rows += (m.cells.end - m.cells.start) / m.replicates.max(1);
             }
         }
-        let widths: Vec<usize> = (0..6)
+        let widths: Vec<usize> = (0..columns)
             .map(|col| {
                 rows.iter()
                     .map(|r| r[col].chars().count())
@@ -158,6 +236,19 @@ impl WatchReport {
             total_rows,
             expected_rows,
         ));
+        if let Some(view) = &self.orchestrator {
+            let state = if view.failed {
+                "FAILED"
+            } else if view.complete {
+                "complete"
+            } else {
+                "running"
+            };
+            out.push_str(&format!(
+                "orchestrator: {state} — {} retries, {} reassigns, {} steals, {} stalls\n",
+                view.retries, view.reassigns, view.steals, view.stalls,
+            ));
+        }
         out
     }
 
@@ -166,18 +257,31 @@ impl WatchReport {
         self.shards.iter().all(ShardStatus::complete)
     }
 
-    fn row(&self, shard: &ShardStatus) -> [String; 6] {
+    fn row(&self, shard: &ShardStatus) -> Vec<String> {
+        let attempts = self
+            .orchestrator
+            .as_ref()
+            .map(|view| view.spawns_of(&shard.name).to_string());
+        let finish = |mut row: Vec<String>, status: String| -> Vec<String> {
+            if let Some(att) = &attempts {
+                row.push(att.clone());
+            }
+            row.push(status);
+            row
+        };
         let manifest = match &shard.manifest {
             Ok(m) => m,
             Err(e) => {
-                return [
-                    shard.name.clone(),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
-                    "—".into(),
+                return finish(
+                    vec![
+                        shard.name.clone(),
+                        "—".into(),
+                        "—".into(),
+                        "—".into(),
+                        "—".into(),
+                    ],
                     format!("bad manifest: {e}"),
-                ];
+                );
             }
         };
         let expected = (manifest.cells.end - manifest.cells.start) / manifest.replicates.max(1);
@@ -203,6 +307,18 @@ impl WatchReport {
         };
         let status = if manifest.complete {
             "complete".into()
+        } else if shard.last.as_ref().is_some_and(|last| last.failed) {
+            // A terminal failed record outranks stall age: the worker
+            // is known dead, not merely silent ([`crate::run_shard`]'s
+            // exit contract).
+            format!(
+                "FAILED ({})",
+                shard
+                    .last
+                    .as_ref()
+                    .and_then(|last| last.error.as_deref())
+                    .unwrap_or("no error recorded")
+            )
         } else if shard.stalled(self.stall_after_s) {
             format!(
                 "STALLED (no heartbeat for {})",
@@ -213,15 +329,28 @@ impl WatchReport {
         } else {
             "running".into()
         };
-        [
-            manifest.shard.clone(),
-            format!("{}/{expected}", manifest.rows),
-            format!("{pct:.0}%"),
-            rate,
-            eta,
+        finish(
+            vec![
+                manifest.shard.clone(),
+                format!("{}/{expected}", manifest.rows),
+                format!("{pct:.0}%"),
+                rate,
+                eta,
+            ],
             status,
-        ]
+        )
     }
+}
+
+/// Seconds since the progress sidecar of `csv` was last rewritten —
+/// the stall-detection clock, shared between `watch` and the
+/// orchestrator's supervisor. `None` without a sidecar.
+pub fn heartbeat_age_s(csv: &Path) -> Option<f64> {
+    std::fs::metadata(progress_path(csv))
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| mtime.elapsed().ok())
+        .map(|age| age.as_secs_f64())
 }
 
 /// Joins one shard CSV's sidecars into a [`ShardStatus`].
@@ -237,15 +366,9 @@ fn shard_status(csv: &Path) -> ShardStatus {
         .ok()
         .and_then(|text| ProgressRecord::parse_sidecar(&text).ok())
         .and_then(|records| records.into_iter().next_back());
-    let heartbeat_age_s = if complete {
-        None
-    } else {
-        std::fs::metadata(&progress)
-            .and_then(|m| m.modified())
-            .ok()
-            .and_then(|mtime| mtime.elapsed().ok())
-            .map(|age| age.as_secs_f64())
-    };
+    // Only sampled for incomplete shards — a finished shard's age is
+    // irrelevant and would make rendering non-deterministic.
+    let heartbeat_age_s = if complete { None } else { heartbeat_age_s(csv) };
     ShardStatus {
         name,
         manifest,
@@ -340,12 +463,15 @@ mod tests {
                         eta_s: Some(1.3),
                         rss_mb: Some(40.0),
                         phases_ms: vec![],
+                        failed: false,
+                        error: None,
                         complete: false,
                     }),
                     heartbeat_age_s: Some(1.0),
                 },
             ],
             stall_after_s: STALL_AFTER_S,
+            orchestrator: None,
         };
         let a = report.render();
         assert_eq!(a, report.render(), "render must be pure");
@@ -372,8 +498,95 @@ mod tests {
         let report = WatchReport {
             shards: vec![stale],
             stall_after_s: STALL_AFTER_S,
+            orchestrator: None,
         };
         assert!(report.render().contains("STALLED"), "{}", report.render());
+    }
+
+    #[test]
+    fn failed_terminal_record_outranks_stall() {
+        let crashed = ShardStatus {
+            name: "frag-0001.csv".into(),
+            manifest: Ok(manifest("cells:10..20", 10..20, 3, false)),
+            last: Some(ProgressRecord {
+                sweep: "demo".into(),
+                shard: "cells:10..20".into(),
+                rows: 3,
+                expected_rows: 5,
+                elapsed_s: 2.0,
+                rate_rows_per_s: 0.0,
+                eta_s: None,
+                rss_mb: None,
+                phases_ms: vec![],
+                failed: true,
+                error: Some("chaos: injected failure after 3 rows".into()),
+                complete: false,
+            }),
+            heartbeat_age_s: Some(999.0),
+        };
+        let report = WatchReport {
+            shards: vec![crashed],
+            stall_after_s: STALL_AFTER_S,
+            orchestrator: None,
+        };
+        let table = report.render();
+        assert!(
+            table.contains("FAILED (chaos: injected failure after 3 rows)"),
+            "{table}"
+        );
+        assert!(!table.contains("STALLED"), "{table}");
+    }
+
+    #[test]
+    fn orchestrator_view_adds_attempts_column_and_footer() {
+        use crate::orchestrate::events::{EventKind, OrchestrateEvent};
+        let events = vec![
+            OrchestrateEvent {
+                kind: EventKind::Spawn,
+                task: Some(0),
+                csv: Some("s0.csv".into()),
+                cells: Some(0..10),
+                attempt: Some(1),
+                detail: None,
+            },
+            OrchestrateEvent {
+                kind: EventKind::Spawn,
+                task: Some(0),
+                csv: Some("s0.csv".into()),
+                cells: Some(0..10),
+                attempt: Some(2),
+                detail: None,
+            },
+            OrchestrateEvent {
+                kind: EventKind::Retry,
+                task: Some(0),
+                csv: Some("s0.csv".into()),
+                cells: Some(0..10),
+                attempt: Some(2),
+                detail: None,
+            },
+            OrchestrateEvent::run_level(EventKind::Complete, "ok"),
+        ];
+        let view = OrchestratorView::from_events(&events);
+        assert_eq!(view.spawns_of("s0.csv"), 2);
+        assert_eq!(view.retries, 1);
+        assert!(view.complete);
+        let report = WatchReport {
+            shards: vec![ShardStatus {
+                name: "s0.csv".into(),
+                manifest: Ok(manifest("0/1", 0..10, 5, true)),
+                last: None,
+                heartbeat_age_s: None,
+            }],
+            stall_after_s: STALL_AFTER_S,
+            orchestrator: Some(view),
+        };
+        let table = report.render();
+        assert!(table.contains("att"), "{table}");
+        assert!(
+            table.contains("orchestrator: complete — 1 retries, 0 reassigns, 0 steals, 0 stalls"),
+            "{table}"
+        );
     }
 
     #[test]

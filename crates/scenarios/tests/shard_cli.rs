@@ -152,3 +152,46 @@ fn cli_rejects_bad_shard_and_misaligned_range() {
         assert!(!out.status.success(), "scenarios {args:?} should fail");
     }
 }
+
+/// The orchestrator as operators run it: one `scenarios orchestrate`
+/// command replaces the whole manual shard/resume/merge sequence, and
+/// `scenarios watch` renders its event log.
+#[test]
+fn cli_orchestrate_merges_byte_identical_and_watch_renders_it() {
+    let scratch = Scratch::new("orchestrate");
+    let reference = scratch.path("reference.csv");
+    run_ok(&[SWEEP, "--stream", "--out", &reference, "--quiet"]);
+
+    let out_dir = scratch.path("run");
+    run_ok(&[
+        "orchestrate",
+        SWEEP,
+        "--workers",
+        "2",
+        "--out-dir",
+        &out_dir,
+        "--checkpoint-every",
+        "1",
+        "--poll-interval",
+        "20",
+        "--quiet",
+    ]);
+    let merged = std::fs::read(scratch.path("run/merged.csv")).expect("merged output");
+    assert_eq!(
+        merged,
+        std::fs::read(&reference).unwrap(),
+        "orchestrated output must be byte-identical to the streamed run"
+    );
+    assert!(
+        std::fs::read_to_string(scratch.path("run/orchestrate.jsonl"))
+            .expect("event log")
+            .contains("\"event\": \"complete\""),
+        "event log records completion"
+    );
+
+    let watch = scenarios(&["watch", &out_dir, "--once"]);
+    assert!(watch.status.success());
+    let table = String::from_utf8_lossy(&watch.stdout);
+    assert!(table.contains("orchestrator: complete"), "{table}");
+    assert!(table.contains("att"), "{table}");
+}

@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 use green_scenarios::shard::Fnv1a;
 use green_scenarios::{
     manifest_path, merge_shards, run_shard, shard_ranges, MethodSpec, PolicySpec, Shard,
-    ShardAssignment, ShardJob, ShardManifest, Sweep, SweepRunner,
+    ShardAssignment, ShardChaos, ShardJob, ShardManifest, Sweep, SweepRunner,
 };
 
 /// A 6-configuration × 2-replicate grid — small enough that every test
@@ -60,6 +60,7 @@ fn run_one_shard(sweep: &Sweep, shard: Shard, csv: &Path, resume: bool) {
         csv,
         resume,
         checkpoint_every: 1,
+        chaos: ShardChaos::default(),
     };
     run_shard(&SweepRunner::new(1), &job, None).expect("shard runs");
 }
@@ -206,6 +207,7 @@ fn resume_refuses_a_tampered_prefix_and_a_foreign_checkpoint() {
         csv: &csv,
         resume: true,
         checkpoint_every: 1,
+        chaos: ShardChaos::default(),
     };
     let err = run_shard(&SweepRunner::new(1), &job, None).unwrap_err();
     assert!(err.to_string().contains("hash mismatch"), "{err}");
@@ -329,4 +331,77 @@ fn manifest_sidecar_path_is_csv_dot_manifest() {
         manifest_path(Path::new("/tmp/x/shard_0.csv")),
         Path::new("/tmp/x/shard_0.csv.manifest")
     );
+}
+
+/// Worker-failure exit semantics (the orchestrator's crash-vs-stall
+/// contract): a shard invocation that dies on an error or a panic must
+/// leave a terminal `"failed"` progress record — and a resumed re-run
+/// must still converge to the reference bytes.
+#[test]
+fn dying_shard_leaves_a_terminal_failed_record_then_resumes_clean() {
+    use green_scenarios::{progress_path, ProgressRecord};
+
+    let sweep = grid();
+    let reference = reference_csv(&sweep);
+    let scratch = Scratch::new("failrec");
+    let csv = scratch.path("whole.csv");
+    let job = |resume: bool, chaos: ShardChaos| ShardJob {
+        sweep: &sweep,
+        filter: None,
+        assignment: ShardAssignment::Whole,
+        csv: &csv,
+        resume,
+        checkpoint_every: 1,
+        chaos,
+    };
+
+    // Error path: the injected I/O failure surfaces as Err and the
+    // sidecar's last record is terminal-failed with the error text.
+    let chaos = ShardChaos {
+        fail_after_rows: Some(2),
+        ..ShardChaos::default()
+    };
+    let err = run_shard(&SweepRunner::new(1), &job(false, chaos), None).unwrap_err();
+    assert!(err.to_string().contains("chaos"), "{err}");
+    let sidecar = std::fs::read_to_string(progress_path(&csv)).expect("sidecar exists");
+    let records = ProgressRecord::parse_sidecar(&sidecar).expect("sidecar parses");
+    let last = records.last().expect("at least the terminal record");
+    assert!(last.failed, "terminal record must be failed: {last:?}");
+    assert!(!last.complete);
+    assert!(
+        last.error.as_deref().unwrap_or("").contains("chaos"),
+        "error text preserved: {last:?}"
+    );
+    // The healthy heartbeat trail of the dead invocation is preserved
+    // (append, not rewrite): failed record is not the only one.
+    assert!(records.len() > 1, "history kept: {} records", records.len());
+    assert!(!records[0].failed);
+
+    // Panic path: same contract, panic text captured.
+    let chaos = ShardChaos {
+        panic_after_rows: Some(1),
+        ..ShardChaos::default()
+    };
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = run_shard(&SweepRunner::new(1), &job(true, chaos), None);
+    }));
+    assert!(panicked.is_err(), "panic propagates after recording");
+    let sidecar = std::fs::read_to_string(progress_path(&csv)).expect("sidecar exists");
+    let records = ProgressRecord::parse_sidecar(&sidecar).expect("sidecar parses");
+    let last = records.last().expect("terminal record");
+    assert!(last.failed);
+    assert!(
+        last.error.as_deref().unwrap_or("").contains("panic"),
+        "panic recorded: {last:?}"
+    );
+
+    // And the range still finishes: resume without chaos converges to
+    // the byte-identical reference.
+    run_shard(
+        &SweepRunner::new(1),
+        &job(true, ShardChaos::default()),
+        None,
+    )
+    .expect("resume finishes");
+    assert_eq!(std::fs::read(&csv).unwrap(), reference);
 }

@@ -12,7 +12,7 @@ use green_obs::{Counter, StatsRecorder};
 use green_scenarios::watch::{watch_once, WatchReport, STALL_AFTER_S};
 use green_scenarios::{
     progress_path, run_shard, run_shard_obs, MethodSpec, PolicySpec, ProgressRecord, Shard,
-    ShardAssignment, ShardJob, Sweep, SweepRunner, PROGRESS_SCHEMA,
+    ShardAssignment, ShardChaos, ShardJob, Sweep, SweepRunner, PROGRESS_SCHEMA,
 };
 
 /// The same 6-configuration × 2-replicate grid the shard golden tests
@@ -55,6 +55,7 @@ fn job<'a>(sweep: &'a Sweep, shard: Shard, csv: &'a Path, resume: bool) -> Shard
         csv,
         resume,
         checkpoint_every: 1,
+        chaos: ShardChaos::default(),
     }
 }
 

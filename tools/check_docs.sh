@@ -57,7 +57,7 @@ done
 
 # 4. The README links every page of the book.
 for page in docs/architecture.md docs/sweep-format.md docs/cli.md \
-        docs/observability.md; do
+        docs/observability.md docs/orchestration.md; do
     if ! grep -q "$page" README.md; then
         fail "README.md does not link $page"
     fi
@@ -70,6 +70,26 @@ wire_names=$(grep -oE '=> "[a-z_]+"' "$obs_src" | grep -oE '[a-z_]+' | sort -u)
 for name in $wire_names; do
     if ! grep -q "\`$name\`" docs/observability.md; then
         fail "recorder wire name \`$name\` is undocumented in docs/observability.md"
+    fi
+done
+
+# 7. The orchestrator cannot grow undocumented surface: every flag the
+#    `scenarios orchestrate` parser accepts and every event-log record
+#    name the wire format defines must appear in docs/orchestration.md.
+orch_flags=$(sed -n '/fn orchestrate_main/,/^}$/p' "$scenarios_src" \
+    | grep -oE '"--[a-z][a-z-]+"' | tr -d '"' | sort -u)
+[ -n "$orch_flags" ] || fail "could not extract orchestrate flags from $scenarios_src"
+for flag in $orch_flags; do
+    if ! grep -qF -- "\`$flag\`" docs/orchestration.md; then
+        fail "orchestrate flag $flag is undocumented in docs/orchestration.md"
+    fi
+done
+events_src=crates/scenarios/src/orchestrate/events.rs
+event_names=$(grep -oE '=> "[a-z]+"' "$events_src" | grep -oE '[a-z]+' | sort -u)
+[ -n "$event_names" ] || fail "could not extract event names from $events_src"
+for name in $event_names; do
+    if ! grep -qE "^\| \`$name\` \|" docs/orchestration.md; then
+        fail "orchestrate event \`$name\` is undocumented in docs/orchestration.md"
     fi
 done
 
