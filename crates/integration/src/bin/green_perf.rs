@@ -35,13 +35,18 @@
 //!   that catch a broken range partitioner or a cache that stopped
 //!   sharing at scale.
 //! * `orchestrate_mega` — the **full** million-cell mega grid under the
-//!   fault-tolerant orchestrator ([`green_scenarios::orchestrate`]) with
+//!   fault-tolerant orchestrator ([`green_scenarios::orchestrate()`]) with
 //!   four in-process workers (the deterministic `ThreadLauncher`: no
 //!   kills, no steals), hash-verified and auto-merged: the repo's first
 //!   multi-worker throughput number, measured on exactly the supervised
 //!   path `scenarios orchestrate` runs. The `retries`/`steals` counters
 //!   are zero-baseline tripwires — a deterministic run that recovers
 //!   from anything is a scheduling bug.
+//! * `analyze_mega` — `scenarios analyze` over the fragment directory
+//!   the orchestrated mega run leaves behind (before cleanup): the
+//!   default `policy,method` roll-up folded out-of-core from the shard
+//!   manifests, reported as aggregate rows per second. The `rows` and
+//!   `groups` counters pin the fold's coverage.
 //!
 //! Every bench also records the process peak RSS at completion
 //! (best-effort, Linux `/proc/self/status`; the high-water mark is
@@ -60,7 +65,7 @@
 //! scheduling behaviour itself changed.
 //!
 //! `--check` compares the run against a committed baseline
-//! (`BENCH_7.json`): deterministic-counter drift beyond `--tolerance`
+//! (`BENCH_8.json`): deterministic-counter drift beyond `--tolerance`
 //! (default 0.20) **fails**, and the failure message names each
 //! offending `bench.counter`; wall-time/RSS drift beyond
 //! `--wall-tolerance` (default 1.00, i.e. 2× slower) only warns — CI
@@ -76,7 +81,10 @@ use green_carbon::HourlyTrace;
 use green_machines::simulation_fleet;
 use green_obs::{NoopRecorder, Recorder, StatsRecorder};
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
-use green_scenarios::{orchestrate, OrchestrateConfig, Shard, Sweep, SweepRunner, ThreadLauncher};
+use green_scenarios::{
+    analyze_dir, orchestrate, AnalyzeQuery, OrchestrateConfig, Shard, Sweep, SweepRunner,
+    ThreadLauncher,
+};
 use green_units::TimePoint;
 use green_workload::{Trace, TraceConfig};
 
@@ -305,10 +313,7 @@ fn bench_sweep_mega<R: Recorder>(obs: &R) -> PerfBench {
 /// `ThreadLauncher` cannot be killed, so the supervisor's stall-kill
 /// and steal paths stay off and every counter is exactly reproducible:
 /// `spawns == tasks`, `retries == steals == 0`.
-fn bench_orchestrate_mega() -> PerfBench {
-    let out_dir = std::env::temp_dir().join(format!("green-perf-orch-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&out_dir);
-    std::fs::create_dir_all(&out_dir).expect("bench scratch dir");
+fn bench_orchestrate_mega(out_dir: &std::path::Path) -> PerfBench {
     let sweep_file = out_dir.join("mega_grid.toml");
     std::fs::write(&sweep_file, MEGA_GRID_TOML).expect("bench sweep file");
 
@@ -317,7 +322,7 @@ fn bench_orchestrate_mega() -> PerfBench {
     let start = Instant::now();
     let summary = orchestrate(&config, &ThreadLauncher).expect("orchestrated mega grid");
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    let bench = PerfBench {
+    PerfBench {
         name: "orchestrate_mega".into(),
         wall_ms,
         peak_rss_mb: peak_rss_mb(),
@@ -341,9 +346,48 @@ fn bench_orchestrate_mega() -> PerfBench {
                 summary.rows as f64 / (wall_ms / 1e3).max(1e-12),
             ),
         ],
-    };
+    }
+}
+
+/// Analyzes the fragment directory `orchestrate_mega` left behind —
+/// the default `policy,method` roll-up over the million-cell output,
+/// folded out-of-core straight from the shard fragments (the merged
+/// CSV carries no manifest, so discovery skips it). Rows/s over the
+/// survey-scale aggregate is the headline rate; `rows` and `groups`
+/// are the deterministic tripwires.
+fn bench_analyze_mega(run_dir: &std::path::Path) -> PerfBench {
+    let query = AnalyzeQuery::new(None, None, None).expect("default query");
+    let start = Instant::now();
+    let report = analyze_dir(run_dir, &query, false).expect("analyze mega fragments");
+    std::hint::black_box(report.to_csv_string());
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PerfBench {
+        name: "analyze_mega".into(),
+        wall_ms,
+        peak_rss_mb: peak_rss_mb(),
+        counters: vec![
+            ("rows".into(), report.rows_scanned as f64),
+            ("groups".into(), report.groups.len() as f64),
+        ],
+        phases: vec![],
+        rates: vec![(
+            "rows_per_s".into(),
+            report.rows_scanned as f64 / (wall_ms / 1e3).max(1e-12),
+        )],
+    }
+}
+
+/// The mega pair: orchestrate the million-cell grid, keep its fragment
+/// directory alive long enough to analyze it, then clean up. Both
+/// halves get their own RSS reset via [`measured`].
+fn bench_mega_pair() -> (PerfBench, PerfBench) {
+    let out_dir = std::env::temp_dir().join(format!("green-perf-orch-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&out_dir);
-    bench
+    std::fs::create_dir_all(&out_dir).expect("bench scratch dir");
+    let orchestrate = measured(|| bench_orchestrate_mega(&out_dir));
+    let analyze = measured(|| bench_analyze_mega(&out_dir.join("run")));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    (orchestrate, analyze)
 }
 
 fn main() {
@@ -399,6 +443,10 @@ fn main() {
                 folded(bench(&recorder), &recorder)
             })
         };
+        // The orchestrator spawns its own worker threads, so a
+        // per-bench recorder cannot attribute their work; the mega pair
+        // runs un-instrumented in both modes.
+        let (orchestrate_mega, analyze_mega) = bench_mega_pair();
         PerfReport {
             benches: vec![
                 rec(bench_sim_year),
@@ -406,13 +454,12 @@ fn main() {
                 rec(|r| bench_sweep("sweep_grid", SENSITIVITY_TOML, r)),
                 rec(|r| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, r)),
                 rec(bench_sweep_mega),
-                // The orchestrator spawns its own worker threads, so a
-                // per-bench recorder cannot attribute their work; it
-                // runs un-instrumented in both modes.
-                measured(bench_orchestrate_mega),
+                orchestrate_mega,
+                analyze_mega,
             ],
         }
     } else {
+        let (orchestrate_mega, analyze_mega) = bench_mega_pair();
         PerfReport {
             benches: vec![
                 measured(|| bench_sim_year(&NoopRecorder)),
@@ -420,7 +467,8 @@ fn main() {
                 measured(|| bench_sweep("sweep_grid", SENSITIVITY_TOML, &NoopRecorder)),
                 measured(|| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, &NoopRecorder)),
                 measured(|| bench_sweep_mega(&NoopRecorder)),
-                measured(bench_orchestrate_mega),
+                orchestrate_mega,
+                analyze_mega,
             ],
         }
     };

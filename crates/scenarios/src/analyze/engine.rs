@@ -1,0 +1,267 @@
+//! The streaming group-by fold: rows in, per-group metric summaries
+//! out.
+//!
+//! The engine is deliberately order-sensitive: it folds rows exactly in
+//! the order they are handed to it, and every accumulator (running sum,
+//! sum of squares, quantile state) is a pure function of that order.
+//! The input layer feeds rows in expansion order — shard files sorted
+//! by their manifest cell ranges, rows within each file in file order —
+//! which is byte-for-byte the order of the merged CSV. Stable order in,
+//! bit-identical statistics out, for any shard count: that is the whole
+//! determinism argument, and `tests/analyze_golden.rs` holds it down.
+
+use std::collections::HashMap;
+
+use super::sketch::{exact_quantile, QuantileSketch};
+use super::{AnalyzeReport, GroupSummary, MetricStats, EXACT_QUANTILE_ROWS};
+
+/// Per-(group, metric) streaming state. Moments are folded in arrival
+/// order; quantiles hold exact values until the group outgrows
+/// [`EXACT_QUANTILE_ROWS`], then migrate into the fixed-size sketch.
+struct MetricAcc {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+    quantiles: Quantiles,
+}
+
+enum Quantiles {
+    /// Every value, in arrival order — exact percentiles.
+    Exact(Vec<f64>),
+    /// The bounded sketch a too-large group degrades into.
+    Sketch(QuantileSketch),
+}
+
+impl MetricAcc {
+    fn new() -> MetricAcc {
+        MetricAcc {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            quantiles: Quantiles::Exact(Vec::new()),
+        }
+    }
+
+    fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        match &mut self.quantiles {
+            Quantiles::Exact(values) if values.len() < EXACT_QUANTILE_ROWS => values.push(value),
+            Quantiles::Exact(values) => {
+                // The group just outgrew the exact threshold: replay the
+                // buffered prefix into the sketch in arrival order (the
+                // migration point depends only on the row stream, so it
+                // is shard-count invariant too).
+                let mut sketch = QuantileSketch::new(EXACT_QUANTILE_ROWS);
+                for &v in values.iter() {
+                    sketch.push(v);
+                }
+                sketch.push(value);
+                self.quantiles = Quantiles::Sketch(sketch);
+            }
+            Quantiles::Sketch(sketch) => sketch.push(value),
+        }
+    }
+
+    fn finish(&self) -> MetricStats {
+        let n = self.count;
+        let mean = if n > 0 { self.sum / n as f64 } else { 0.0 };
+        let std = if n > 1 {
+            ((self.sum_sq - self.sum * self.sum / n as f64).max(0.0) / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let q = |p: f64| -> f64 {
+            match &self.quantiles {
+                Quantiles::Exact(values) => exact_quantile(values, p),
+                Quantiles::Sketch(sketch) => sketch.quantile(p),
+            }
+            .unwrap_or(0.0)
+        };
+        MetricStats {
+            rows: n,
+            mean,
+            std,
+            min: if n > 0 { self.min } else { 0.0 },
+            max: if n > 0 { self.max } else { 0.0 },
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+        }
+    }
+}
+
+struct Group {
+    key: Vec<String>,
+    accs: Vec<MetricAcc>,
+}
+
+/// The streaming group-by engine. Feed every row via
+/// [`GroupEngine::fold`] (in expansion order), then take the
+/// [`AnalyzeReport`] with [`GroupEngine::finish`].
+pub struct GroupEngine {
+    /// Indices into the eleven axis columns for the group key.
+    key_axes: Vec<usize>,
+    metric_count: usize,
+    filter: Option<String>,
+    /// Group output order is first-seen order — deterministic because
+    /// the row order is.
+    groups: Vec<Group>,
+    index: HashMap<Vec<String>, usize>,
+    rows_scanned: usize,
+    rows_matched: usize,
+}
+
+impl GroupEngine {
+    /// An engine grouping on the given axis-column indices (positions
+    /// within the eleven configuration columns), summarizing
+    /// `metric_count` metric streams per group, with an optional label
+    /// filter (substring over the `/`-joined axis columns — the same
+    /// semantics as the sweep `--filter`).
+    pub fn new(key_axes: Vec<usize>, metric_count: usize, filter: Option<String>) -> GroupEngine {
+        GroupEngine {
+            key_axes,
+            metric_count,
+            filter: filter.filter(|f| !f.is_empty()),
+            groups: Vec::new(),
+            index: HashMap::new(),
+            rows_scanned: 0,
+            rows_matched: 0,
+        }
+    }
+
+    /// Folds one row: `axes` are the eleven configuration columns in
+    /// [`crate::agg::CSV_HEADERS`] order, `values` the selected metric
+    /// columns in query order.
+    pub fn fold(&mut self, axes: &[&str], values: &[f64]) {
+        debug_assert_eq!(values.len(), self.metric_count);
+        self.rows_scanned += 1;
+        if let Some(filter) = &self.filter {
+            if !axes.join("/").contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.rows_matched += 1;
+        let key: Vec<String> = self.key_axes.iter().map(|&i| axes[i].to_string()).collect();
+        let group = match self.index.get(&key) {
+            Some(&at) => &mut self.groups[at],
+            None => {
+                self.index.insert(key.clone(), self.groups.len());
+                self.groups.push(Group {
+                    key,
+                    accs: (0..self.metric_count).map(|_| MetricAcc::new()).collect(),
+                });
+                self.groups.last_mut().unwrap()
+            }
+        };
+        for (acc, &value) in group.accs.iter_mut().zip(values) {
+            acc.push(value);
+        }
+    }
+
+    /// Closes the fold and produces the report (groups in first-seen
+    /// order).
+    pub fn finish(self, group_by: Vec<String>, metrics: Vec<String>) -> AnalyzeReport {
+        AnalyzeReport {
+            group_by,
+            metrics,
+            rows_scanned: self.rows_scanned,
+            rows_matched: self.rows_matched,
+            groups: self
+                .groups
+                .iter()
+                .map(|g| GroupSummary {
+                    key: g.key.clone(),
+                    stats: g.accs.iter().map(MetricAcc::finish).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axes(policy: &str, method: &str) -> Vec<String> {
+        let mut fields = vec![policy.to_string(), method.to_string()];
+        fields.extend(
+            [
+                "0+1", "2023", "24", "64", "1.000", "1.000", "0.00", "flat", "0.0",
+            ]
+            .map(String::from),
+        );
+        fields
+    }
+
+    #[test]
+    fn groups_in_first_seen_order_with_correct_moments() {
+        let mut engine = GroupEngine::new(vec![0], 1, None);
+        for (policy, v) in [("b", 1.0), ("a", 2.0), ("b", 3.0), ("a", 4.0)] {
+            let fields = axes(policy, "eba");
+            let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            engine.fold(&refs, &[v]);
+        }
+        let report = engine.finish(vec!["policy".into()], vec!["m".into()]);
+        assert_eq!(report.rows_scanned, 4);
+        assert_eq!(report.rows_matched, 4);
+        assert_eq!(report.groups.len(), 2);
+        assert_eq!(report.groups[0].key, vec!["b"]);
+        assert_eq!(report.groups[1].key, vec!["a"]);
+        let b = &report.groups[0].stats[0];
+        assert_eq!(b.rows, 2);
+        assert_eq!(b.mean, 2.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 3.0);
+        assert_eq!(b.p50, 1.0);
+        // std of {1,3} = sqrt(2)
+        assert!((b.std - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_matches_joined_label() {
+        let mut engine = GroupEngine::new(vec![0, 1], 1, Some("a/eba".into()));
+        for (policy, method) in [("a", "eba"), ("a", "cba"), ("b", "eba")] {
+            let fields = axes(policy, method);
+            let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            engine.fold(&refs, &[1.0]);
+        }
+        let report = engine.finish(vec!["policy".into(), "method".into()], vec!["m".into()]);
+        assert_eq!(report.rows_scanned, 3);
+        assert_eq!(report.rows_matched, 1);
+        assert_eq!(report.groups.len(), 1);
+        assert_eq!(report.groups[0].key, vec!["a", "eba"]);
+    }
+
+    #[test]
+    fn large_group_migrates_to_sketch_deterministically() {
+        let n = EXACT_QUANTILE_ROWS * 3;
+        let run = || {
+            let mut engine = GroupEngine::new(vec![0], 1, None);
+            let fields = axes("a", "eba");
+            let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+            for i in 0..n {
+                engine.fold(&refs, &[((i * 31) % n) as f64]);
+            }
+            let report = engine.finish(vec!["policy".into()], vec!["m".into()]);
+            report.groups[0].stats[0].clone()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "sketch statistics must be replay-deterministic");
+        assert_eq!(a.rows, n as u64);
+        // Approximate percentiles stay within a few percent of truth.
+        assert!((a.p50 / n as f64 - 0.5).abs() < 0.05, "p50 {}", a.p50);
+        assert!((a.p99 / n as f64 - 0.99).abs() < 0.05, "p99 {}", a.p99);
+    }
+}

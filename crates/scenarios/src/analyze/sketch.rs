@@ -1,0 +1,193 @@
+//! A fixed-size, fully deterministic streaming quantile sketch.
+//!
+//! Percentiles over survey-scale groups cannot buffer every value, and
+//! the repository's determinism contract rules out randomized sketches
+//! (GK tuning aside, a reservoir or KLL coin-flip would make the report
+//! depend on RNG state). This sketch is the deterministic middle
+//! ground: values are held exactly until the buffer fills, then the
+//! sorted buffer is *compacted* — adjacent pairs merge into one
+//! survivor carrying both weights, alternating between keeping the
+//! lower and the upper element of each pair so the rank bias cancels
+//! across rounds. Every step is a pure function of the arrival order,
+//! so two runs that fold the same rows in the same order produce
+//! bit-identical quantiles — the property the shard-count-invariance
+//! tests pin down.
+//!
+//! Accuracy: after `k` compactions each survivor stands in for at most
+//! `2^k` originals, so a rank query is off by at most the survivor
+//! spacing — ~`n / capacity` ranks, under 0.05 % of the distribution at
+//! the default [`super::EXACT_QUANTILE_ROWS`] capacity. Exact answers
+//! below the capacity are the common case: per-group row counts in real
+//! sweeps rarely exceed it, and [`super::engine`] only migrates a group
+//! into sketch mode once it crosses the threshold.
+
+/// One weighted survivor: `value` standing in for `weight` originals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    value: f64,
+    weight: u64,
+}
+
+/// A bounded-memory quantile summary with deterministic compaction.
+///
+/// `push` values in stream order, then read [`QuantileSketch::quantile`]
+/// (nearest-rank semantics; exact while the stream still fits the
+/// buffer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Maximum entries held; a push at capacity triggers a compaction.
+    cap: usize,
+    /// Weighted survivors, in arrival order (sorted only at compaction
+    /// and query time).
+    entries: Vec<Entry>,
+    /// Compactions performed so far; parity picks which half of each
+    /// sorted pair survives, so the rank bias alternates sign.
+    rounds: u64,
+}
+
+impl QuantileSketch {
+    /// An empty sketch holding at most `cap` entries (`cap >= 2`).
+    pub fn new(cap: usize) -> QuantileSketch {
+        QuantileSketch {
+            cap: cap.max(2),
+            entries: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// Total weight absorbed (the number of `push`es).
+    pub fn count(&self) -> u64 {
+        self.entries.iter().map(|e| e.weight).sum()
+    }
+
+    /// Whether the sketch has compacted (quantiles are approximate once
+    /// it has).
+    pub fn compacted(&self) -> bool {
+        self.rounds > 0
+    }
+
+    /// Absorbs one value.
+    pub fn push(&mut self, value: f64) {
+        if self.entries.len() >= self.cap {
+            self.compact();
+        }
+        self.entries.push(Entry { value, weight: 1 });
+    }
+
+    /// Halves the buffer: sort by value (ties broken by arrival order —
+    /// the sort is stable), merge adjacent pairs into one survivor
+    /// carrying the pair's combined weight. Round parity alternates
+    /// whether the lower or the upper element survives.
+    fn compact(&mut self) {
+        self.entries.sort_by(|a, b| a.value.total_cmp(&b.value));
+        let keep_upper = self.rounds % 2 == 1;
+        let mut compacted = Vec::with_capacity(self.entries.len() / 2 + 1);
+        let mut pairs = self.entries.chunks_exact(2);
+        for pair in &mut pairs {
+            let survivor = if keep_upper { pair[1] } else { pair[0] };
+            compacted.push(Entry {
+                value: survivor.value,
+                weight: pair[0].weight + pair[1].weight,
+            });
+        }
+        compacted.extend_from_slice(pairs.remainder());
+        self.entries = compacted;
+        self.rounds += 1;
+    }
+
+    /// The nearest-rank quantile `q` in `[0, 1]`: the smallest value
+    /// whose cumulative weight reaches `ceil(q × total)`. Returns `None`
+    /// for an empty sketch. Exact until the first compaction.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| a.value.total_cmp(&b.value));
+        let total = sorted.iter().map(|e| e.weight).sum::<u64>();
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for entry in &sorted {
+            cumulative += entry.weight;
+            if cumulative >= target {
+                return Some(entry.value);
+            }
+        }
+        sorted.last().map(|e| e.value)
+    }
+}
+
+/// Exact nearest-rank quantile of already-collected values: the
+/// reference the sketch degrades from, and the path the engine uses for
+/// groups below the exact-row threshold. `values` need not be sorted.
+pub fn exact_quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut sketch = QuantileSketch::new(64);
+        for v in [5.0, 1.0, 9.0, 3.0, 7.0] {
+            sketch.push(v);
+        }
+        assert!(!sketch.compacted());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                sketch.quantile(q),
+                exact_quantile(&[5.0, 1.0, 9.0, 3.0, 7.0], q),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_replay() {
+        let values: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64).collect();
+        let run = |vals: &[f64]| {
+            let mut s = QuantileSketch::new(128);
+            for &v in vals {
+                s.push(v);
+            }
+            (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99))
+        };
+        assert_eq!(run(&values), run(&values));
+    }
+
+    #[test]
+    fn compacted_quantiles_stay_close() {
+        let n = 50_000;
+        let mut sketch = QuantileSketch::new(1024);
+        for i in 0..n {
+            // A permuted ramp: every value 0..n exactly once.
+            sketch.push(((i * 7919) % n) as f64);
+        }
+        assert!(sketch.compacted());
+        assert_eq!(sketch.count(), n as u64);
+        for (q, expected) in [(0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
+            let got = sketch.quantile(q).unwrap() / n as f64;
+            assert!(
+                (got - expected).abs() < 0.05,
+                "q={q}: got {got}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_quantile_nearest_rank_semantics() {
+        let values = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(exact_quantile(&values, 0.5), Some(20.0));
+        assert_eq!(exact_quantile(&values, 0.75), Some(30.0));
+        assert_eq!(exact_quantile(&values, 1.0), Some(40.0));
+        assert_eq!(exact_quantile(&[], 0.5), None);
+    }
+}

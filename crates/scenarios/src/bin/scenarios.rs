@@ -14,6 +14,7 @@
 //!   --cell-range <A..B>  run an explicit config-aligned cell range
 //!   --resume             continue a killed shard from its checkpoint
 //!   --checkpoint-every <rows>  rows between manifest checkpoints
+//!   --columnar           write a `<out>.cols` columnar sidecar on completion
 //!   --obs                record per-phase timings and work counters
 //!                        (shard runs; lands in the .progress sidecar)
 //!   --list               print the expanded cells and exit without running
@@ -21,6 +22,7 @@
 //!
 //! scenarios orchestrate <sweep.toml> --workers <n> --out-dir <dir> [...]
 //! scenarios merge --out <merged.csv> [--partial] <shard.csv>...
+//! scenarios analyze <dir|csv> [--group-by <axis,...>] [--metrics <col,...>] [...]
 //! scenarios watch <dir> [--once] [--interval <s>]
 //! ```
 
@@ -29,9 +31,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use green_obs::{Recorder, StatsRecorder};
 use green_scenarios::{
-    cell_label, merge_shards, orchestrate, run_shard, run_shard_obs, watch, OrchestrateConfig,
-    ProcessLauncher, Shard, ShardAssignment, ShardChaos, ShardJob, ShardOutcome, Sweep,
-    SweepRunner, WorkloadPreset, CHECKPOINT_EVERY,
+    analyze_path, cell_label, merge_shards, orchestrate, run_shard, run_shard_obs, watch,
+    AnalyzeQuery, OrchestrateConfig, ProcessLauncher, Shard, ShardAssignment, ShardChaos, ShardJob,
+    ShardOutcome, Sweep, SweepRunner, WorkloadPreset, CHECKPOINT_EVERY,
 };
 
 const USAGE: &str = "\
@@ -41,14 +43,19 @@ USAGE:
     scenarios <sweep.toml> [--out <file.csv>] [--stream] [--threads <n>]
               [--preset <micro|tiny|quick|paper>] [--filter <substr>]
               [--shard <I/N>] [--cell-range <A..B>] [--resume]
-              [--checkpoint-every <rows>] [--obs] [--list] [--quiet]
+              [--checkpoint-every <rows>] [--columnar] [--obs] [--list]
+              [--quiet]
     scenarios orchestrate <sweep.toml> --workers <n> --out-dir <dir>
               [--merged <file.csv>] [--preset <p>] [--filter <substr>]
               [--max-attempts <n>] [--stall-after <seconds>]
               [--poll-interval <ms>] [--no-steal]
               [--min-steal-configs <n>] [--checkpoint-every <rows>]
-              [--worker-threads <n>] [--quiet]
+              [--worker-threads <n>] [--analyze <axis,...>]
+              [--analyze-metrics <col,...>] [--quiet]
     scenarios merge --out <merged.csv> [--partial] <shard.csv>...
+    scenarios analyze <dir|csv> [--group-by <axis,...>]
+              [--metrics <col,...>] [--filter <substr>]
+              [--format <table|csv|jsonl>] [--out <file>] [--partial]
     scenarios watch <dir> [--once] [--interval <seconds>]
 
 --stream writes aggregate rows to --out as each configuration's
@@ -101,6 +108,27 @@ docs/orchestration.md.
 
 --checkpoint-every tunes rows between manifest checkpoints (default
 64): the heartbeat cadence, and the most work a kill can lose.
+
+--columnar additionally writes a `<out>.cols` binary columnar sidecar
+(dictionary-encoded axis columns + raw f64 metric columns, bound to
+the CSV by the manifest's row/byte/hash triple) when the shard
+completes, so `scenarios analyze` over the output never re-parses CSV
+text. Implies the checkpointed streaming path. See docs/analytics.md.
+
+`scenarios analyze` runs a streaming group-by / summarize query over
+sweep output — either a directory of shard fragments (verified through
+the same manifest front end as `merge`, folded shard by shard without
+ever materializing the merged CSV; `--partial` accepts a contiguous
+sub-span) or a single aggregate CSV. `--group-by` picks configuration
+axes (default `policy,method`), `--metrics` numeric columns (default
+the headline sustainability set), `--filter` the same label substring
+as the sweep `--filter`; output is a table, `--format csv`, or
+`--format jsonl`, to stdout or `--out <file>`. Results are
+bit-identical for any shard count. See docs/analytics.md.
+
+`scenarios orchestrate --analyze <axis,...>` chains such an analysis
+(optionally `--analyze-metrics <col,...>`) over the merged CSV after a
+successful auto-merge, writing `<out-dir>/analysis.csv`.
 
 Every shard run heartbeats a `<out>.progress` JSONL sidecar at each
 checkpoint (rows, rate, ETA, RSS). --obs additionally records per-phase
@@ -165,6 +193,77 @@ fn merge_main(args: &[String]) -> ! {
             std::process::exit(1);
         }
     }
+}
+
+/// The `scenarios analyze` subcommand: streaming group-by/summarize
+/// over shard outputs (no merge needed) or a single aggregate CSV.
+fn analyze_main(args: &[String]) -> ! {
+    let mut input: Option<PathBuf> = None;
+    let mut group_by: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut format = "table".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut partial = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("analyze {arg} needs {what}")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--group-by" => group_by = Some(value("a comma-separated axis list")),
+            "--metrics" => metrics = Some(value("a comma-separated metric column list")),
+            "--filter" => filter = Some(value("a label substring")),
+            "--format" => {
+                let v = value("an output format (table|csv|jsonl)");
+                if !matches!(v.as_str(), "table" | "csv" | "jsonl") {
+                    fail(&format!("bad analyze format `{v}` (table|csv|jsonl)"));
+                }
+                format = v;
+            }
+            "--out" => out = Some(PathBuf::from(value("a file path"))),
+            "--partial" => partial = true,
+            other if other.starts_with('-') => fail(&format!("unknown analyze option `{other}`")),
+            other => {
+                if input.replace(PathBuf::from(other)).is_some() {
+                    fail("more than one analyze input given");
+                }
+            }
+        }
+    }
+    let Some(input) = input else {
+        fail("analyze needs a shard directory or aggregate CSV");
+    };
+    let query = AnalyzeQuery::new(group_by.as_deref(), metrics.as_deref(), filter)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let report = analyze_path(&input, &query, partial).unwrap_or_else(|e| {
+        eprintln!("error: analyze: {e}");
+        std::process::exit(1);
+    });
+    let rendered = match format.as_str() {
+        "csv" => report.to_csv_string(),
+        "jsonl" => report.to_jsonl(),
+        _ => report.render(),
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("error: analyze: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!(
+                "analyzed {} rows ({} matched) into {} groups — {}",
+                report.rows_scanned,
+                report.rows_matched,
+                report.groups.len(),
+                path.display()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    std::process::exit(0);
 }
 
 /// The `scenarios orchestrate` subcommand: drive a fleet of local
@@ -249,6 +348,26 @@ fn orchestrate_main(args: &[String]) -> ! {
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("bad thread count `{v}`")));
                 config_overrides.push(Box::new(move |c| c.worker_threads = n));
+            }
+            "--analyze" => {
+                let v = value("a comma-separated axis list");
+                config_overrides.push(Box::new(move |c| {
+                    let metrics = c.analyze.take().map(|q| q.metrics.join(","));
+                    c.analyze = Some(
+                        AnalyzeQuery::new(Some(&v), metrics.as_deref(), None)
+                            .unwrap_or_else(|e| fail(&e.to_string())),
+                    );
+                }));
+            }
+            "--analyze-metrics" => {
+                let v = value("a comma-separated metric column list");
+                config_overrides.push(Box::new(move |c| {
+                    let group_by = c.analyze.take().map(|q| q.group_by.join(","));
+                    c.analyze = Some(
+                        AnalyzeQuery::new(group_by.as_deref(), Some(&v), None)
+                            .unwrap_or_else(|e| fail(&e.to_string())),
+                    );
+                }));
             }
             "--quiet" => config_overrides.push(Box::new(|c| c.quiet = true)),
             other if other.starts_with('-') => {
@@ -364,6 +483,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("orchestrate") {
         orchestrate_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("analyze") {
+        analyze_main(&args[1..]);
+    }
 
     let mut sweep_path: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
@@ -374,6 +496,7 @@ fn main() {
     let mut cell_range: Option<core::ops::Range<usize>> = None;
     let mut resume = false;
     let mut checkpoint_every = CHECKPOINT_EVERY;
+    let mut columnar = false;
     let mut obs = false;
     let mut list = false;
     let mut quiet = false;
@@ -429,6 +552,7 @@ fn main() {
                     .map(|n| n.max(1))
                     .unwrap_or_else(|_| fail(&format!("bad checkpoint interval `{v}`")));
             }
+            "--columnar" => columnar = true,
             "--obs" => obs = true,
             "--list" => list = true,
             "--quiet" => quiet = true,
@@ -539,9 +663,9 @@ fn main() {
     // explicit cell range, or a resumable whole-grid run. Always
     // streamed (constant memory is the point at this scale) and always
     // checkpointed through the `<out>.manifest` sidecar.
-    if shard.is_some() || cell_range.is_some() || resume {
+    if shard.is_some() || cell_range.is_some() || resume || columnar {
         let Some(out) = out else {
-            fail("--shard/--cell-range/--resume need --out <file.csv>");
+            fail("--shard/--cell-range/--resume/--columnar need --out <file.csv>");
         };
         let assignment = match (&shard, &cell_range) {
             (Some(s), None) => ShardAssignment::Shard(*s),
@@ -555,6 +679,7 @@ fn main() {
             csv: &out,
             resume,
             checkpoint_every,
+            columnar,
             chaos: ShardChaos::from_env(),
         };
         let progress: Option<&green_scenarios::runner::ProgressFn> =

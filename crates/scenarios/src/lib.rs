@@ -37,6 +37,12 @@
 //!   identical to the single-process streamed run (asserted by
 //!   `tests/shard_golden.rs`). [`Sweep::cell_at`] decodes any expansion
 //!   index directly, so a worker never materializes the grid;
+//! * [`analyze`] — out-of-core analytics over sweep output: a streaming
+//!   group-by / summarize / percentile engine ([`AnalyzeQuery`] →
+//!   [`AnalyzeReport`]) that folds shard fragments via their manifests
+//!   *without* merging, bit-identical for any shard count (asserted by
+//!   `tests/analyze_golden.rs`), plus the optional `<csv>.cols`
+//!   columnar sidecar so re-analysis never re-parses CSV;
 //! * [`Aggregate`]/[`SweepResults`] — per-cell mean, standard deviation
 //!   and 95 % confidence intervals over replicates for carbon, credits,
 //!   energy, wait and utilization, exported through `green-bench`'s CSV
@@ -63,6 +69,7 @@
 //! ```
 
 pub mod agg;
+pub mod analyze;
 pub mod orchestrate;
 pub mod progress;
 pub mod runner;
@@ -73,6 +80,10 @@ pub mod toml;
 pub mod watch;
 
 pub use agg::{Aggregate, CellSummary, SweepResults, CSV_HEADERS};
+pub use analyze::{
+    analyze_csv, analyze_dir, analyze_path, AnalyzeQuery, AnalyzeReport, GroupSummary, MetricStats,
+    QuantileSketch, ANALYZE_SCHEMA, COLS_SCHEMA, EXACT_QUANTILE_ROWS,
+};
 pub use orchestrate::{
     orchestrate, orchestrate_log_path, EventKind, Launcher, OrchestrateConfig, OrchestrateEvent,
     OrchestrateSummary, Plan, ProcessLauncher, Task, TaskState, ThreadLauncher, WorkerHandle,
@@ -87,8 +98,9 @@ pub use runner::{
     SweepWorld,
 };
 pub use shard::{
-    manifest_path, merge_shards, run_shard, run_shard_obs, shard_ranges, MergeSummary, Shard,
-    ShardAssignment, ShardChaos, ShardJob, ShardManifest, ShardOutcome, CHECKPOINT_EVERY,
+    load_shard_set, manifest_path, merge_shards, read_verified, run_shard, run_shard_obs,
+    shard_ranges, MergeSummary, Shard, ShardAssignment, ShardChaos, ShardJob, ShardManifest,
+    ShardOutcome, CHECKPOINT_EVERY,
 };
 pub use spec::{fleet_index, MethodSpec, PolicySpec, ScenarioSpec, SpecError};
 pub use sweep::{Cell, Sweep, WorkloadConfig, WorkloadPreset};

@@ -53,6 +53,9 @@ pub enum EventKind {
     /// All fragments hash-verified and merged; `detail` holds
     /// `rows=R bytes=B`.
     Merge,
+    /// A chained analysis ran over the merged CSV; `detail` holds the
+    /// query and output path.
+    Analyze,
     /// The run finished end to end.
     Complete,
     /// The run gave up (a task exhausted its attempt budget).
@@ -71,6 +74,7 @@ impl EventKind {
             EventKind::Reassign => "reassign",
             EventKind::Steal => "steal",
             EventKind::Merge => "merge",
+            EventKind::Analyze => "analyze",
             EventKind::Complete => "complete",
             EventKind::Failed => "failed",
         }
@@ -87,6 +91,7 @@ impl EventKind {
             EventKind::Reassign,
             EventKind::Steal,
             EventKind::Merge,
+            EventKind::Analyze,
             EventKind::Complete,
             EventKind::Failed,
         ]
@@ -236,6 +241,7 @@ mod tests {
             EventKind::Reassign,
             EventKind::Steal,
             EventKind::Merge,
+            EventKind::Analyze,
             EventKind::Complete,
             EventKind::Failed,
         ] {

@@ -227,6 +227,7 @@ impl Launcher for ThreadLauncher {
                     csv: &spec.csv,
                     resume: spec.resume,
                     checkpoint_every: spec.checkpoint_every,
+                    columnar: false,
                     chaos: ShardChaos::default(),
                 };
                 run_shard(&SweepRunner::new(spec.threads), &job, None).map(|_| ())

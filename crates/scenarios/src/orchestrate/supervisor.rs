@@ -33,6 +33,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use crate::analyze::{analyze_csv, AnalyzeQuery};
 use crate::orchestrate::events::{EventKind, OrchestrateEvent};
 use crate::orchestrate::launcher::{Launcher, WorkerHandle, WorkerSpec};
 use crate::orchestrate::plan::{Plan, TaskState};
@@ -82,6 +83,10 @@ pub struct OrchestrateConfig {
     pub backoff_base_ms: u64,
     /// Retry delay ceiling.
     pub backoff_cap_ms: u64,
+    /// Chain an analysis over the merged CSV after a successful merge
+    /// (`--analyze`/`--analyze-metrics`), writing the report CSV to
+    /// `<out_dir>/analysis.csv`.
+    pub analyze: Option<AnalyzeQuery>,
     /// Suppress stderr progress narration.
     pub quiet: bool,
 }
@@ -105,6 +110,7 @@ impl OrchestrateConfig {
             worker_threads: 1,
             backoff_base_ms: 250,
             backoff_cap_ms: 5_000,
+            analyze: None,
             quiet: false,
         }
     }
@@ -382,6 +388,34 @@ pub fn orchestrate(
             ),
         ),
     );
+    // 6. Optional chained analysis over the merged CSV — the same
+    //    report `scenarios analyze <merged>` would print, landing next
+    //    to the fragments as `analysis.csv`.
+    if let Some(query) = &config.analyze {
+        let report = analyze_csv(&merged_path, query)?;
+        let analysis_path = config.out_dir.join("analysis.csv");
+        std::fs::write(&analysis_path, report.to_csv_string())?;
+        log_event(
+            config,
+            OrchestrateEvent::run_level(
+                EventKind::Analyze,
+                format!(
+                    "group-by={} metrics={} groups={} -> analysis.csv",
+                    query.group_by.join(","),
+                    query.metrics.join(","),
+                    report.groups.len()
+                ),
+            ),
+        );
+        if !config.quiet {
+            eprintln!(
+                "orchestrate: analyzed {} rows into {} groups — {}",
+                report.rows_matched,
+                report.groups.len(),
+                analysis_path.display()
+            );
+        }
+    }
     log_event(
         config,
         OrchestrateEvent::run_level(

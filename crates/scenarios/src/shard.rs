@@ -350,6 +350,10 @@ pub struct ShardJob<'a> {
     pub resume: bool,
     /// Rows between checkpoints ([`CHECKPOINT_EVERY`] for the CLI).
     pub checkpoint_every: usize,
+    /// Write the `<csv>.cols` columnar sidecar
+    /// ([`crate::analyze::columnar`]) once the shard completes, so
+    /// `scenarios analyze` never re-parses the CSV text.
+    pub columnar: bool,
     /// Failure injection for fault-tolerance tests (default: none).
     pub chaos: ShardChaos,
 }
@@ -694,7 +698,12 @@ fn run_shard_inner<R: Recorder>(
             obs.add(Counter::ResumedRowsVerified, manifest.rows as u64);
         }
         if manifest.complete {
-            // Nothing to do — idempotent re-invocation after success.
+            // Nothing to do — idempotent re-invocation after success
+            // (still backfills a requested columnar sidecar a previous
+            // non-columnar invocation didn't write).
+            if job.columnar && !crate::analyze::cols_path(job.csv).exists() {
+                crate::analyze::write_sidecar(job.csv)?;
+            }
             return Ok(ShardOutcome {
                 range,
                 total_cells,
@@ -754,6 +763,12 @@ fn run_shard_inner<R: Recorder>(
     }
     writer.manifest.complete = true;
     writer.checkpoint()?;
+    if job.columnar {
+        // The CSV is final and hash-stable now — encode the columnar
+        // sidecar from it so the sidecar's binding triple (rows, bytes,
+        // hash) matches the manifest exactly.
+        crate::analyze::write_sidecar(job.csv)?;
+    }
     Ok(ShardOutcome {
         range,
         total_cells,
@@ -774,24 +789,21 @@ pub struct MergeSummary {
     pub bytes: u64,
 }
 
-/// Merges completed shard CSVs into `out`: manifests are loaded and
-/// verified (same sweep, same grid, every shard complete, content hash
-/// intact), ranges are ordered and checked for exact contiguous tiling,
-/// and bodies are concatenated under a single header — byte-identical
-/// to the single-process `--stream` run over the union range.
-///
-/// `partial = false` additionally requires the union to cover the whole
-/// grid (`0..total_cells`); `partial = true` accepts any contiguous
-/// sub-span (merging two adjacent shards of a bigger split).
-pub fn merge_shards(
+/// Loads, completeness-checks, cross-checks and orders a shard set:
+/// the shared front half of [`merge_shards`] and `scenarios analyze`.
+/// Every input must have a complete manifest (a torn/partial shard
+/// refuses the whole set, naming the offending fragment), all manifests
+/// must describe one sweep/spec/grid, and the cell ranges must tile
+/// contiguously — covering the whole grid unless `partial`. Returns the
+/// set ordered by `cells.start`, which is expansion order.
+pub fn load_shard_set(
     inputs: &[PathBuf],
-    out: &Path,
     partial: bool,
-) -> std::io::Result<MergeSummary> {
+) -> std::io::Result<Vec<(ShardManifest, PathBuf)>> {
     if inputs.is_empty() {
         return Err(invalid("no shard files to merge"));
     }
-    let mut shards: Vec<(ShardManifest, &PathBuf)> = Vec::with_capacity(inputs.len());
+    let mut shards: Vec<(ShardManifest, PathBuf)> = Vec::with_capacity(inputs.len());
     for path in inputs {
         let manifest = ShardManifest::load(path)?;
         if !manifest.complete {
@@ -804,7 +816,7 @@ pub fn merge_shards(
                 manifest.cells.end
             )));
         }
-        shards.push((manifest, path));
+        shards.push((manifest, path.clone()));
     }
     shards.sort_by_key(|(m, _)| m.cells.start);
 
@@ -857,6 +869,43 @@ pub fn merge_shards(
             "shards cover cells 0..{expected} of {total} — missing the tail shard(s)"
         )));
     }
+    Ok(shards)
+}
+
+/// Reads a shard CSV and verifies its bytes against the manifest (byte
+/// count + FNV-1a hash) — the integrity gate both `merge` and `analyze`
+/// pass every file through before trusting its rows.
+pub fn read_verified(manifest: &ShardManifest, path: &Path) -> std::io::Result<Vec<u8>> {
+    let body = std::fs::read(path)?;
+    if body.len() as u64 != manifest.bytes || Fnv1a::hash(&body) != manifest.hash {
+        return Err(invalid(format!(
+            "{}: content does not match its manifest (got {} bytes, hash {:016x}; \
+             manifest says {} bytes, {:016x}) — stale or corrupted shard output",
+            path.display(),
+            body.len(),
+            Fnv1a::hash(&body),
+            manifest.bytes,
+            manifest.hash
+        )));
+    }
+    Ok(body)
+}
+
+/// Merges completed shard CSVs into `out`: manifests are loaded and
+/// verified (same sweep, same grid, every shard complete, content hash
+/// intact), ranges are ordered and checked for exact contiguous tiling,
+/// and bodies are concatenated under a single header — byte-identical
+/// to the single-process `--stream` run over the union range.
+///
+/// `partial = false` additionally requires the union to cover the whole
+/// grid (`0..total_cells`); `partial = true` accepts any contiguous
+/// sub-span (merging two adjacent shards of a bigger split).
+pub fn merge_shards(
+    inputs: &[PathBuf],
+    out: &Path,
+    partial: bool,
+) -> std::io::Result<MergeSummary> {
+    let shards = load_shard_set(inputs, partial)?;
 
     let header = green_bench::export::csv_line(&CSV_HEADERS);
     let mut writer = std::io::BufWriter::new(std::fs::File::create(out)?);
@@ -866,18 +915,7 @@ pub fn merge_shards(
         bytes: 0,
     };
     for (i, (manifest, path)) in shards.iter().enumerate() {
-        let body = std::fs::read(path)?;
-        if body.len() as u64 != manifest.bytes || Fnv1a::hash(&body) != manifest.hash {
-            return Err(invalid(format!(
-                "{}: content does not match its manifest (got {} bytes, hash {:016x}; \
-                 manifest says {} bytes, {:016x}) — stale or corrupted shard output",
-                path.display(),
-                body.len(),
-                Fnv1a::hash(&body),
-                manifest.bytes,
-                manifest.hash
-            )));
-        }
+        let body = read_verified(manifest, path)?;
         if !body.starts_with(header.as_bytes()) {
             return Err(invalid(format!(
                 "{}: does not start with the aggregate CSV header",

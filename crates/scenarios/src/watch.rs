@@ -99,7 +99,7 @@ impl OrchestratorView {
                 EventKind::Stall => view.stalls += 1,
                 EventKind::Complete => view.complete = true,
                 EventKind::Failed => view.failed = true,
-                EventKind::Plan | EventKind::Exit | EventKind::Merge => {}
+                EventKind::Plan | EventKind::Exit | EventKind::Merge | EventKind::Analyze => {}
             }
         }
         view

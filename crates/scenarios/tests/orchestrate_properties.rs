@@ -116,6 +116,7 @@ fn split_fragments_merge_back_to_streamed_bytes() {
             csv: &csv,
             resume: false,
             checkpoint_every: 1,
+            columnar: false,
             chaos: ShardChaos::default(),
         };
         run_shard(&SweepRunner::new(1), &job, None).expect("fragment runs");

@@ -60,6 +60,7 @@ fn run_one_shard(sweep: &Sweep, shard: Shard, csv: &Path, resume: bool) {
         csv,
         resume,
         checkpoint_every: 1,
+        columnar: false,
         chaos: ShardChaos::default(),
     };
     run_shard(&SweepRunner::new(1), &job, None).expect("shard runs");
@@ -207,6 +208,7 @@ fn resume_refuses_a_tampered_prefix_and_a_foreign_checkpoint() {
         csv: &csv,
         resume: true,
         checkpoint_every: 1,
+        columnar: false,
         chaos: ShardChaos::default(),
     };
     let err = run_shard(&SweepRunner::new(1), &job, None).unwrap_err();
@@ -352,6 +354,7 @@ fn dying_shard_leaves_a_terminal_failed_record_then_resumes_clean() {
         csv: &csv,
         resume,
         checkpoint_every: 1,
+        columnar: false,
         chaos,
     };
 

@@ -55,6 +55,7 @@ fn job<'a>(sweep: &'a Sweep, shard: Shard, csv: &'a Path, resume: bool) -> Shard
         csv,
         resume,
         checkpoint_every: 1,
+        columnar: false,
         chaos: ShardChaos::default(),
     }
 }

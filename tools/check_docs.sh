@@ -57,7 +57,7 @@ done
 
 # 4. The README links every page of the book.
 for page in docs/architecture.md docs/sweep-format.md docs/cli.md \
-        docs/observability.md docs/orchestration.md; do
+        docs/observability.md docs/orchestration.md docs/analytics.md; do
     if ! grep -q "$page" README.md; then
         fail "README.md does not link $page"
     fi
@@ -92,6 +92,38 @@ for name in $event_names; do
         fail "orchestrate event \`$name\` is undocumented in docs/orchestration.md"
     fi
 done
+
+# 8. The analytics surface cannot drift from its page: every flag the
+#    `scenarios analyze` parser accepts, every stat column the report
+#    emits, and every columnar wire name must appear in docs/analytics.md.
+analyze_flags=$(sed -n '/fn analyze_main/,/^}$/p' "$scenarios_src" \
+    | grep -oE '"--[a-z][a-z-]+"' | tr -d '"' | sort -u)
+[ -n "$analyze_flags" ] || fail "could not extract analyze flags from $scenarios_src"
+for flag in $analyze_flags; do
+    if ! grep -qF -- "\`$flag\`" docs/analytics.md; then
+        fail "analyze flag $flag is undocumented in docs/analytics.md"
+    fi
+done
+analyze_src=crates/scenarios/src/analyze/mod.rs
+stat_headers=$(sed -n '/^pub const ANALYZE_STAT_HEADERS/,/^];/p' "$analyze_src" \
+    | grep -oE '"[a-z0-9]+"' | tr -d '"' | sort -u)
+[ -n "$stat_headers" ] || fail "could not extract stat headers from $analyze_src"
+for name in $stat_headers; do
+    if ! grep -qE "^\| \`$name\` \|" docs/analytics.md; then
+        fail "analyze output column \`$name\` is undocumented in docs/analytics.md"
+    fi
+done
+columnar_src=crates/scenarios/src/analyze/columnar.rs
+col_types=$(grep -oE '=> "[a-z0-9]+"' "$columnar_src" | grep -oE '[a-z0-9]+' | sort -u)
+[ -n "$col_types" ] || fail "could not extract column wire names from $columnar_src"
+for name in $col_types; do
+    if ! grep -qE "^\| \`$name\` \|" docs/analytics.md; then
+        fail "columnar wire name \`$name\` is undocumented in docs/analytics.md"
+    fi
+done
+if ! grep -q 'green-cols/1' docs/analytics.md; then
+    fail "columnar schema string green-cols/1 is undocumented in docs/analytics.md"
+fi
 
 # 5. Workload presets stay in sync between parser and docs.
 for preset in micro tiny quick paper; do
