@@ -47,6 +47,12 @@
 //!   default `policy,method` roll-up folded out-of-core from the shard
 //!   manifests, reported as aggregate rows per second. The `rows` and
 //!   `groups` counters pin the fold's coverage.
+//! * `chaos_noop` — a 100,000-cell checkpointed shard through the
+//!   default `NoopChaos` path (failpoint probes compiled away) and
+//!   again with an armed-but-never-firing registry. The
+//!   `faults_injected` counter is a hard zero gate, and the armed
+//!   variant's relative wall cost reports warn-only — the
+//!   disabled-path overhead claim of `docs/robustness.md`, measured.
 //!
 //! Every bench also records the process peak RSS at completion
 //! (best-effort, Linux `/proc/self/status`; the high-water mark is
@@ -65,7 +71,7 @@
 //! scheduling behaviour itself changed.
 //!
 //! `--check` compares the run against a committed baseline
-//! (`BENCH_8.json`): deterministic-counter drift beyond `--tolerance`
+//! (`BENCH_9.json`): deterministic-counter drift beyond `--tolerance`
 //! (default 0.20) **fails**, and the failure message names each
 //! offending `bench.counter`; wall-time/RSS drift beyond
 //! `--wall-tolerance` (default 1.00, i.e. 2× slower) only warns — CI
@@ -78,12 +84,13 @@ use std::time::Instant;
 use green_batchsim::{intensity_for, run_cell_in_obs, PlacementTable, Policy, SimArena, SimConfig};
 use green_bench::{peak_rss_mb, PerfBench, PerfReport};
 use green_carbon::HourlyTrace;
+use green_chaos::ChaosRegistry;
 use green_machines::simulation_fleet;
 use green_obs::{NoopRecorder, Recorder, StatsRecorder};
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
 use green_scenarios::{
-    analyze_dir, orchestrate, AnalyzeQuery, OrchestrateConfig, Shard, Sweep, SweepRunner,
-    ThreadLauncher,
+    analyze_dir, orchestrate, run_shard, run_shard_chaos, AnalyzeQuery, OrchestrateConfig, Shard,
+    ShardAssignment, ShardJob, Sweep, SweepRunner, ThreadLauncher,
 };
 use green_units::TimePoint;
 use green_workload::{Trace, TraceConfig};
@@ -377,6 +384,87 @@ fn bench_analyze_mega(run_dir: &std::path::Path) -> PerfBench {
     }
 }
 
+/// The chaos subsystem's disabled-path contract, measured: the same
+/// checkpointed 100,000-cell shard run twice — once through
+/// [`run_shard`] (the default `NoopChaos`, every failpoint probe
+/// compiled away) and once through [`run_shard_chaos`] with an armed
+/// registry whose rule can never fire (dynamic-dispatch probes on
+/// every durable write). `faults_injected` is the hard zero gate: a
+/// disabled or never-firing chaos run that injects anything is a
+/// correctness bug, and both variants must write identical row counts.
+/// The `armed_overhead_rel` rate reports what arming costs (warn-only,
+/// like all rates) — the noop path's wall time is the one the default
+/// baselines gate.
+fn bench_chaos_noop() -> PerfBench {
+    let sweep = Sweep::from_toml_str(MEGA_GRID_TOML).expect("shipped sweep parses");
+    let dir = std::env::temp_dir().join(format!("green-perf-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    fn job<'a>(sweep: &'a Sweep, csv: &'a std::path::Path) -> ShardJob<'a> {
+        ShardJob {
+            sweep,
+            filter: None,
+            assignment: ShardAssignment::Shard(Shard { index: 0, of: 10 }),
+            csv,
+            resume: false,
+            checkpoint_every: 64,
+            columnar: false,
+        }
+    }
+
+    let noop_csv = dir.join("noop.csv");
+    let start = Instant::now();
+    let noop =
+        run_shard(&SweepRunner::new(1), &job(&sweep, &noop_csv), None).expect("noop shard runs");
+    let noop_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Armed but unfireable: u64::MAX hits will never be reached, so
+    // every probe takes the full registry-evaluation path and still
+    // injects nothing.
+    let spec = format!("fragment_row=err@hit:{}", u64::MAX);
+    let registry = ChaosRegistry::from_spec(&spec).expect("bench spec compiles");
+    let armed_csv = dir.join("armed.csv");
+    let start = Instant::now();
+    let armed = run_shard_chaos(
+        &SweepRunner::new(1),
+        &job(&sweep, &armed_csv),
+        None,
+        &NoopRecorder,
+        &registry,
+    )
+    .expect("armed-but-quiet shard runs");
+    let armed_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        noop.written_rows, armed.written_rows,
+        "arming chaos must not change the work done"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    PerfBench {
+        name: "chaos_noop".into(),
+        wall_ms: noop_ms,
+        peak_rss_mb: peak_rss_mb(),
+        counters: vec![
+            ("cells".into(), noop.range.len() as f64),
+            ("rows".into(), noop.written_rows as f64),
+            ("armed_rows".into(), armed.written_rows as f64),
+            ("faults_injected".into(), 0.0),
+        ],
+        phases: vec![],
+        rates: vec![
+            (
+                "rows_per_s".into(),
+                noop.written_rows as f64 / (noop_ms / 1e3).max(1e-12),
+            ),
+            (
+                "armed_rows_per_s".into(),
+                armed.written_rows as f64 / (armed_ms / 1e3).max(1e-12),
+            ),
+            ("armed_overhead_rel".into(), armed_ms / noop_ms.max(1e-12)),
+        ],
+    }
+}
+
 /// The mega pair: orchestrate the million-cell grid, keep its fragment
 /// directory alive long enough to analyze it, then clean up. Both
 /// halves get their own RSS reset via [`measured`].
@@ -456,6 +544,7 @@ fn main() {
                 rec(bench_sweep_mega),
                 orchestrate_mega,
                 analyze_mega,
+                measured(bench_chaos_noop),
             ],
         }
     } else {
@@ -469,6 +558,7 @@ fn main() {
                 measured(|| bench_sweep_mega(&NoopRecorder)),
                 orchestrate_mega,
                 analyze_mega,
+                measured(bench_chaos_noop),
             ],
         }
     };

@@ -134,6 +134,14 @@ fn invalid(message: impl Into<String>) -> io::Error {
 /// hash-stable at that point), and idempotent: rewriting produces the
 /// same bytes.
 pub fn write_sidecar(csv: &Path) -> io::Result<()> {
+    write_sidecar_chaos(csv, &green_chaos::NoopChaos)
+}
+
+/// [`write_sidecar`] with the `columnar_sidecar` failpoint armed. The
+/// sidecar is written atomically (tmp → sync → rename), so a crash
+/// mid-encode leaves no partial sidecar for `analyze` to trip on —
+/// and a stale one is caught by the binding triple anyway.
+pub fn write_sidecar_chaos<C: green_chaos::Chaos>(csv: &Path, chaos: &C) -> io::Result<()> {
     let bytes = std::fs::read(csv)?;
     let text = std::str::from_utf8(&bytes)
         .map_err(|_| invalid(format!("{}: not UTF-8", csv.display())))?;
@@ -209,7 +217,12 @@ pub fn write_sidecar(csv: &Path) -> io::Result<()> {
             put_u64(&mut out, value.to_bits());
         }
     }
-    std::fs::write(cols_path(csv), out)
+    crate::durable_io::write_atomic_chaos(
+        &cols_path(csv),
+        &out,
+        chaos,
+        green_chaos::Failpoint::ColumnarSidecar,
+    )
 }
 
 /// Splits one CSV row. The aggregate schema never emits quoted fields

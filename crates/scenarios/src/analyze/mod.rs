@@ -63,7 +63,9 @@ pub mod engine;
 mod input;
 pub mod sketch;
 
-pub use columnar::{cols_path, write_sidecar, ColsFile, Column, ColumnType, COLS_SCHEMA};
+pub use columnar::{
+    cols_path, write_sidecar, write_sidecar_chaos, ColsFile, Column, ColumnType, COLS_SCHEMA,
+};
 pub use input::{analyze_csv, analyze_dir, analyze_path};
 pub use sketch::QuantileSketch;
 

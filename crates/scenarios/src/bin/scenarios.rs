@@ -15,6 +15,8 @@
 //!   --resume             continue a killed shard from its checkpoint
 //!   --checkpoint-every <rows>  rows between manifest checkpoints
 //!   --columnar           write a `<out>.cols` columnar sidecar on completion
+//!   --chaos <spec>       arm deterministic failpoints on every durable write
+//!                        (see docs/robustness.md for the spec grammar)
 //!   --obs                record per-phase timings and work counters
 //!                        (shard runs; lands in the .progress sidecar)
 //!   --list               print the expanded cells and exit without running
@@ -29,9 +31,11 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use green_obs::{Recorder, StatsRecorder};
+use green_chaos::{ChaosRegistry, Failpoint};
+use green_obs::{NoopRecorder, Recorder, StatsRecorder};
 use green_scenarios::{
-    analyze_path, cell_label, merge_shards, orchestrate, run_shard, run_shard_obs, watch,
+    analyze_path, cell_label, merge_shards, merge_shards_chaos, orchestrate, orchestrate_chaos,
+    run_shard, run_shard_chaos, run_shard_obs, watch, write_atomic, write_atomic_chaos,
     AnalyzeQuery, OrchestrateConfig, ProcessLauncher, Shard, ShardAssignment, ShardChaos, ShardJob,
     ShardOutcome, Sweep, SweepRunner, WorkloadPreset, CHECKPOINT_EVERY,
 };
@@ -43,19 +47,21 @@ USAGE:
     scenarios <sweep.toml> [--out <file.csv>] [--stream] [--threads <n>]
               [--preset <micro|tiny|quick|paper>] [--filter <substr>]
               [--shard <I/N>] [--cell-range <A..B>] [--resume]
-              [--checkpoint-every <rows>] [--columnar] [--obs] [--list]
-              [--quiet]
+              [--checkpoint-every <rows>] [--columnar] [--chaos <spec>]
+              [--obs] [--list] [--quiet]
     scenarios orchestrate <sweep.toml> --workers <n> --out-dir <dir>
               [--merged <file.csv>] [--preset <p>] [--filter <substr>]
               [--max-attempts <n>] [--stall-after <seconds>]
               [--poll-interval <ms>] [--no-steal]
               [--min-steal-configs <n>] [--checkpoint-every <rows>]
               [--worker-threads <n>] [--analyze <axis,...>]
-              [--analyze-metrics <col,...>] [--quiet]
-    scenarios merge --out <merged.csv> [--partial] <shard.csv>...
+              [--analyze-metrics <col,...>] [--chaos <spec>] [--quiet]
+    scenarios merge --out <merged.csv> [--partial] [--chaos <spec>]
+              <shard.csv>...
     scenarios analyze <dir|csv> [--group-by <axis,...>]
               [--metrics <col,...>] [--filter <substr>]
               [--format <table|csv|jsonl>] [--out <file>] [--partial]
+              [--chaos <spec>]
     scenarios watch <dir> [--once] [--interval <seconds>]
 
 --stream writes aggregate rows to --out as each configuration's
@@ -109,6 +115,15 @@ docs/orchestration.md.
 --checkpoint-every tunes rows between manifest checkpoints (default
 64): the heartbeat cadence, and the most work a kill can lose.
 
+--chaos arms deterministic fault injection on every durable write: a
+`;`-separated list of `failpoint=action@trigger` rules (for example
+`manifest_rewrite=enospc@hit:3` or `fragment_row=torn:7@p:0.01:42`).
+The same spec is read from the SCENARIOS_CHAOS environment variable;
+`scenarios orchestrate --chaos` forwards it to every worker. Failpoint
+names, actions, triggers and the durability guarantee each failpoint
+tests are cataloged in docs/robustness.md. Without a spec the probes
+compile to nothing.
+
 --columnar additionally writes a `<out>.cols` binary columnar sidecar
 (dictionary-encoded axis columns + raw f64 metric columns, bound to
 the CSV by the manifest's row/byte/hash triple) when the shard
@@ -148,11 +163,42 @@ fn fail(message: &str) -> ! {
     std::process::exit(2);
 }
 
+/// The invocation's one failure-injection registry: `--chaos <spec>`
+/// rules, the `SCENARIOS_CHAOS` env spec, and the legacy
+/// `SCENARIOS_CHAOS_{FAIL_ROWS,PANIC_ROWS,SLEEP_MS}` row knobs
+/// ([`ShardChaos::spec`]) all compile into it, in that order. `None`
+/// when nothing is armed, so every probe stays on the
+/// `NoopChaos`-monomorphized zero-cost path. A malformed spec is fatal:
+/// a chaos run that silently injects nothing would claim fault
+/// tolerance it never tested.
+fn chaos_registry(flag: Option<&str>) -> Option<ChaosRegistry> {
+    let mut specs: Vec<String> = Vec::new();
+    if let Some(spec) = flag {
+        specs.push(spec.to_string());
+    }
+    if let Ok(env) = std::env::var("SCENARIOS_CHAOS") {
+        if !env.trim().is_empty() {
+            specs.push(env);
+        }
+    }
+    let legacy = ShardChaos::from_env().spec();
+    if !legacy.is_empty() {
+        specs.push(legacy);
+    }
+    if specs.is_empty() {
+        return None;
+    }
+    let registry =
+        ChaosRegistry::from_spec(&specs.join(";")).unwrap_or_else(|e| fail(&e.to_string()));
+    (!registry.is_empty()).then_some(registry)
+}
+
 /// The `scenarios merge` subcommand: reassemble completed shard CSVs.
 fn merge_main(args: &[String]) -> ! {
     let mut out: Option<PathBuf> = None;
     let mut partial = false;
     let mut quiet = false;
+    let mut chaos_spec: Option<String> = None;
     let mut inputs: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -165,6 +211,12 @@ fn merge_main(args: &[String]) -> ! {
             }
             "--partial" => partial = true,
             "--quiet" => quiet = true,
+            "--chaos" => {
+                let Some(v) = it.next() else {
+                    fail("merge --chaos needs a failpoint spec");
+                };
+                chaos_spec = Some(v.clone());
+            }
             other if other.starts_with('-') => fail(&format!("unknown merge option `{other}`")),
             other => inputs.push(PathBuf::from(other)),
         }
@@ -175,7 +227,11 @@ fn merge_main(args: &[String]) -> ! {
     if inputs.is_empty() {
         fail("merge needs at least one shard CSV (each with its `.manifest` sidecar)");
     }
-    match merge_shards(&inputs, &out, partial) {
+    let result = match chaos_registry(chaos_spec.as_deref()) {
+        Some(registry) => merge_shards_chaos(&inputs, &out, partial, &registry),
+        None => merge_shards(&inputs, &out, partial),
+    };
+    match result {
         Ok(summary) => {
             if !quiet {
                 eprintln!(
@@ -205,6 +261,7 @@ fn analyze_main(args: &[String]) -> ! {
     let mut format = "table".to_string();
     let mut out: Option<PathBuf> = None;
     let mut partial = false;
+    let mut chaos_spec: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> String {
@@ -225,6 +282,7 @@ fn analyze_main(args: &[String]) -> ! {
             }
             "--out" => out = Some(PathBuf::from(value("a file path"))),
             "--partial" => partial = true,
+            "--chaos" => chaos_spec = Some(value("a failpoint spec")),
             other if other.starts_with('-') => fail(&format!("unknown analyze option `{other}`")),
             other => {
                 if input.replace(PathBuf::from(other)).is_some() {
@@ -249,7 +307,18 @@ fn analyze_main(args: &[String]) -> ! {
     };
     match out {
         Some(path) => {
-            if let Err(e) = std::fs::write(&path, rendered) {
+            // Atomic (tmp → sync → rename): a crash mid-write leaves
+            // the previous report or nothing, never a truncated one.
+            let written = match chaos_registry(chaos_spec.as_deref()) {
+                Some(registry) => write_atomic_chaos(
+                    &path,
+                    rendered.as_bytes(),
+                    &registry,
+                    Failpoint::AnalyzeWrite,
+                ),
+                None => write_atomic(&path, rendered.as_bytes()),
+            };
+            if let Err(e) = written {
                 eprintln!("error: analyze: writing {}: {e}", path.display());
                 std::process::exit(1);
             }
@@ -276,6 +345,7 @@ fn orchestrate_main(args: &[String]) -> ! {
     let mut sweep_file: Option<PathBuf> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
+    let mut chaos_spec: Option<String> = None;
     let mut config_overrides: Vec<ConfigOverride> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -370,6 +440,7 @@ fn orchestrate_main(args: &[String]) -> ! {
                 }));
             }
             "--quiet" => config_overrides.push(Box::new(|c| c.quiet = true)),
+            "--chaos" => chaos_spec = Some(value("a failpoint spec")),
             other if other.starts_with('-') => {
                 fail(&format!("unknown orchestrate option `{other}`"))
             }
@@ -393,11 +464,24 @@ fn orchestrate_main(args: &[String]) -> ! {
     for apply in config_overrides {
         apply(&mut config);
     }
-    let launcher = ProcessLauncher::current_exe().unwrap_or_else(|e| {
+    let mut launcher = ProcessLauncher::current_exe().unwrap_or_else(|e| {
         eprintln!("error: orchestrate: cannot locate own binary: {e}");
         std::process::exit(1);
     });
-    match orchestrate(&config, &launcher) {
+    // A `--chaos` spec reaches the workers as their `SCENARIOS_CHAOS`
+    // environment (each worker compiles its own registry with fresh hit
+    // counters); the supervisor arms the same spec for its own
+    // failpoints. Env-spelled chaos is inherited by workers anyway.
+    if let Some(spec) = &chaos_spec {
+        launcher
+            .envs
+            .push(("SCENARIOS_CHAOS".to_string(), spec.clone()));
+    }
+    let result = match chaos_registry(chaos_spec.as_deref()) {
+        Some(registry) => orchestrate_chaos(&config, &launcher, &registry),
+        None => orchestrate(&config, &launcher),
+    };
+    match result {
         Ok(_) => std::process::exit(0),
         Err(e) => {
             eprintln!("error: orchestrate: {e}");
@@ -501,6 +585,7 @@ fn main() {
     let mut list = false;
     let mut quiet = false;
     let mut stream = false;
+    let mut chaos_spec: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -553,6 +638,12 @@ fn main() {
                     .unwrap_or_else(|_| fail(&format!("bad checkpoint interval `{v}`")));
             }
             "--columnar" => columnar = true,
+            "--chaos" => {
+                let Some(v) = it.next() else {
+                    fail("--chaos needs a failpoint spec (see docs/robustness.md)");
+                };
+                chaos_spec = Some(v.clone());
+            }
             "--obs" => obs = true,
             "--list" => list = true,
             "--quiet" => quiet = true,
@@ -663,9 +754,9 @@ fn main() {
     // explicit cell range, or a resumable whole-grid run. Always
     // streamed (constant memory is the point at this scale) and always
     // checkpointed through the `<out>.manifest` sidecar.
-    if shard.is_some() || cell_range.is_some() || resume || columnar {
+    if shard.is_some() || cell_range.is_some() || resume || columnar || chaos_spec.is_some() {
         let Some(out) = out else {
-            fail("--shard/--cell-range/--resume/--columnar need --out <file.csv>");
+            fail("--shard/--cell-range/--resume/--columnar/--chaos need --out <file.csv>");
         };
         let assignment = match (&shard, &cell_range) {
             (Some(s), None) => ShardAssignment::Shard(*s),
@@ -680,8 +771,11 @@ fn main() {
             resume,
             checkpoint_every,
             columnar,
-            chaos: ShardChaos::from_env(),
         };
+        // Armed only when a spec (flag, env, or the legacy row knobs)
+        // asks for it — otherwise the NoopChaos monomorphization keeps
+        // the probes compiled out entirely.
+        let chaos = chaos_registry(chaos_spec.as_deref());
         let progress: Option<&green_scenarios::runner::ProgressFn> =
             if quiet { None } else { Some(&progress) };
         let fail_shard = |e: std::io::Error| -> ! {
@@ -693,8 +787,11 @@ fn main() {
             // the `.progress` heartbeats and a stderr summary. Output
             // bytes are identical to the uninstrumented run.
             let recorder = StatsRecorder::new();
-            let outcome =
-                run_shard_obs(&runner, &job, progress, &recorder).unwrap_or_else(|e| fail_shard(e));
+            let outcome = match &chaos {
+                Some(registry) => run_shard_chaos(&runner, &job, progress, &recorder, registry),
+                None => run_shard_obs(&runner, &job, progress, &recorder),
+            }
+            .unwrap_or_else(|e| fail_shard(e));
             if !quiet {
                 if let Some(snapshot) = recorder.snapshot() {
                     eprintln!("obs: phase timings (ms):");
@@ -715,7 +812,11 @@ fn main() {
             }
             outcome
         } else {
-            run_shard(&runner, &job, progress).unwrap_or_else(|e| fail_shard(e))
+            match &chaos {
+                Some(registry) => run_shard_chaos(&runner, &job, progress, &NoopRecorder, registry),
+                None => run_shard(&runner, &job, progress),
+            }
+            .unwrap_or_else(|e| fail_shard(e))
         };
         if !quiet {
             let resumed = if outcome.resumed_rows > 0 {

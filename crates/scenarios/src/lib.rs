@@ -70,6 +70,7 @@
 
 pub mod agg;
 pub mod analyze;
+pub mod durable_io;
 pub mod orchestrate;
 pub mod progress;
 pub mod runner;
@@ -84,23 +85,26 @@ pub use analyze::{
     analyze_csv, analyze_dir, analyze_path, AnalyzeQuery, AnalyzeReport, GroupSummary, MetricStats,
     QuantileSketch, ANALYZE_SCHEMA, COLS_SCHEMA, EXACT_QUANTILE_ROWS,
 };
+pub use durable_io::{
+    append_line, append_line_chaos, atomic_rewrite, atomic_rewrite_chaos, repair_torn_tail,
+    write_atomic, write_atomic_chaos,
+};
 pub use orchestrate::{
-    orchestrate, orchestrate_log_path, EventKind, Launcher, OrchestrateConfig, OrchestrateEvent,
-    OrchestrateSummary, Plan, ProcessLauncher, Task, TaskState, ThreadLauncher, WorkerHandle,
-    WorkerSpec, ORCHESTRATE_SCHEMA,
+    orchestrate, orchestrate_chaos, orchestrate_log_path, EventKind, Launcher, OrchestrateConfig,
+    OrchestrateEvent, OrchestrateSummary, Plan, ProcessLauncher, Task, TaskState, ThreadLauncher,
+    WorkerHandle, WorkerSpec, ORCHESTRATE_SCHEMA,
 };
 pub use progress::{
-    atomic_rewrite, progress_path, ProgressRecord, ProgressWriter, PROGRESS_HISTORY,
-    PROGRESS_SCHEMA,
+    progress_path, ProgressRecord, ProgressWriter, PROGRESS_HISTORY, PROGRESS_SCHEMA,
 };
 pub use runner::{
     cell_label, CellMetrics, FleetSlice, RunStats, StreamSummary, SweepCaches, SweepRunner,
     SweepWorld,
 };
 pub use shard::{
-    load_shard_set, manifest_path, merge_shards, read_verified, run_shard, run_shard_obs,
-    shard_ranges, MergeSummary, Shard, ShardAssignment, ShardChaos, ShardJob, ShardManifest,
-    ShardOutcome, CHECKPOINT_EVERY,
+    load_shard_set, manifest_path, merge_shards, merge_shards_chaos, read_verified, run_shard,
+    run_shard_chaos, run_shard_obs, shard_ranges, MergeSummary, Shard, ShardAssignment, ShardChaos,
+    ShardJob, ShardManifest, ShardOutcome, CHECKPOINT_EVERY,
 };
 pub use spec::{fleet_index, MethodSpec, PolicySpec, ScenarioSpec, SpecError};
 pub use sweep::{Cell, Sweep, WorkloadConfig, WorkloadPreset};

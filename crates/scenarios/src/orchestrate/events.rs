@@ -19,7 +19,9 @@ use std::ops::Range;
 use std::path::{Path, PathBuf};
 
 use green_bench::json::{quote, Json};
+use green_chaos::{Chaos, Failpoint};
 
+use crate::durable_io::append_line_chaos;
 use crate::progress::append_line;
 use crate::spec::SpecError;
 
@@ -218,11 +220,44 @@ impl OrchestrateEvent {
             .collect()
     }
 
+    /// [`parse_log`](Self::parse_log) for readers of a *live* (or
+    /// crashed) log: a line that does not parse — above all the torn
+    /// final line a mid-append kill leaves — is skipped with a warning
+    /// instead of failing the whole read. Tools that only observe
+    /// (`scenarios watch`, `analyze`) must render the intact prefix; a
+    /// torn audit line is evidence of a crash, not a reason to go
+    /// blind.
+    pub fn parse_log_tolerant(text: &str) -> (Vec<OrchestrateEvent>, Vec<String>) {
+        let mut events = Vec::new();
+        let mut warnings = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match OrchestrateEvent::parse(line) {
+                Ok(event) => events.push(event),
+                Err(e) => warnings.push(format!("line {}: {e}", index + 1)),
+            }
+        }
+        (events, warnings)
+    }
+
     /// Appends this event to `dir`'s log. Best-effort durability is the
     /// supervisor's call; the writes themselves are single short
     /// appends (see [`append_line`]).
     pub fn log(&self, dir: &Path) -> io::Result<()> {
         append_line(&orchestrate_log_path(dir), &self.to_json_line())
+    }
+
+    /// [`log`](Self::log) with the `orchestrate_append` failpoint
+    /// armed — the supervisor's write path under `--chaos`.
+    pub fn log_chaos<C: Chaos>(&self, dir: &Path, chaos: &C) -> io::Result<()> {
+        append_line_chaos(
+            &orchestrate_log_path(dir),
+            &self.to_json_line(),
+            chaos,
+            Failpoint::OrchestrateAppend,
+        )
     }
 }
 
@@ -273,6 +308,22 @@ mod tests {
         assert!(OrchestrateEvent::parse(&line.replace("green-orchestrate/1", "v9")).is_err());
         assert!(OrchestrateEvent::parse(&line.replace("\"plan\"", "\"warp\"")).is_err());
         assert!(OrchestrateEvent::parse("not json").is_err());
+    }
+
+    #[test]
+    fn tolerant_parse_skips_the_torn_tail_with_a_warning() {
+        let mut text = OrchestrateEvent::run_level(EventKind::Plan, "tasks=2").to_json_line();
+        text.push('\n');
+        // A mid-append kill: the final line stops mid-record.
+        text.push_str("{\"schema\": \"green-orchestrate/1\", \"event\": \"spa");
+        let (events, warnings) = OrchestrateEvent::parse_log_tolerant(&text);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Plan);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].starts_with("line 2: "), "{}", warnings[0]);
+        // An intact log parses clean.
+        let (_, none) = OrchestrateEvent::parse_log_tolerant(&events[0].to_json_line());
+        assert!(none.is_empty());
     }
 
     #[test]

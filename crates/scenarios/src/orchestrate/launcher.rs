@@ -14,7 +14,7 @@ use std::io;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 
-use crate::shard::{run_shard, ShardAssignment, ShardChaos, ShardJob};
+use crate::shard::{run_shard, ShardAssignment, ShardJob};
 use crate::sweep::{Sweep, WorkloadPreset};
 use crate::SweepRunner;
 
@@ -228,7 +228,6 @@ impl Launcher for ThreadLauncher {
                     resume: spec.resume,
                     checkpoint_every: spec.checkpoint_every,
                     columnar: false,
-                    chaos: ShardChaos::default(),
                 };
                 run_shard(&SweepRunner::new(spec.threads), &job, None).map(|_| ())
             })?;

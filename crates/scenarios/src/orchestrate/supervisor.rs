@@ -24,7 +24,7 @@
 //!   remainder at a config boundary ([`Plan::split`]), resume the
 //!   straggler on the head and hand the tail to the idle slot.
 //!
-//! The run ends with [`merge_shards`] over every fragment —
+//! The run ends with [`crate::shard::merge_shards`] over every fragment —
 //! hash-verified, contiguity-checked, byte-identical to the unsharded
 //! `--stream` run — so fault tolerance is never allowed to buy a
 //! different answer.
@@ -33,13 +33,15 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use green_chaos::{Chaos, Failpoint, NoopChaos};
+
 use crate::analyze::{analyze_csv, AnalyzeQuery};
 use crate::orchestrate::events::{EventKind, OrchestrateEvent};
 use crate::orchestrate::launcher::{Launcher, WorkerHandle, WorkerSpec};
 use crate::orchestrate::plan::{Plan, TaskState};
 use crate::progress::{progress_path, ProgressRecord};
 use crate::runner::cell_label;
-use crate::shard::{manifest_path, merge_shards, ShardManifest, CHECKPOINT_EVERY};
+use crate::shard::{manifest_path, merge_shards_chaos, ShardManifest, CHECKPOINT_EVERY};
 use crate::sweep::{Sweep, WorkloadPreset};
 use crate::watch::STALL_AFTER_S;
 
@@ -181,6 +183,21 @@ pub fn orchestrate(
     config: &OrchestrateConfig,
     launcher: &dyn Launcher,
 ) -> io::Result<OrchestrateSummary> {
+    orchestrate_chaos(config, launcher, &NoopChaos)
+}
+
+/// [`orchestrate`] with the supervisor's own failpoints armed:
+/// `orchestrate_append` at every audit-log write, `merge_write` inside
+/// the auto-merge, `analyze_write` for the chained analysis report, and
+/// `manifest_rewrite` where a steal shrinks a victim's checkpoint. The
+/// *workers'* chaos travels separately (a [`crate::ProcessLauncher`]
+/// env injection or the inherited `SCENARIOS_CHAOS`) — the supervisor
+/// never tears a fragment itself.
+pub fn orchestrate_chaos<C: Chaos>(
+    config: &OrchestrateConfig,
+    launcher: &dyn Launcher,
+    chaos: &C,
+) -> io::Result<OrchestrateSummary> {
     let text = std::fs::read_to_string(&config.sweep_file)?;
     let mut sweep = Sweep::from_toml_str(&text)
         .map_err(|e| invalid(format!("{}: {e}", config.sweep_file.display())))?;
@@ -231,6 +248,7 @@ pub fn orchestrate(
     };
     log_event(
         config,
+        chaos,
         OrchestrateEvent::run_level(
             EventKind::Plan,
             format!(
@@ -261,6 +279,7 @@ pub fn orchestrate(
                     let slot = slots.swap_remove(index);
                     handle_exit(
                         config,
+                        chaos,
                         &mut plan,
                         &mut schedule,
                         &mut summary,
@@ -293,6 +312,7 @@ pub fn orchestrate(
                 if age > config.stall_after_s {
                     log_event(
                         config,
+                        chaos,
                         task_event(
                             EventKind::Stall,
                             &plan,
@@ -313,7 +333,14 @@ pub fn orchestrate(
         //    the largest uncheckpointed remainder among the runners.
         let pending_ready = plan.tasks.iter().any(|t| t.state == TaskState::Pending);
         if config.steal && kill_capable && !pending_ready && slots.len() < config.workers {
-            try_steal(config, &mut plan, &mut schedule, &mut summary, &mut slots)?;
+            try_steal(
+                config,
+                chaos,
+                &mut plan,
+                &mut schedule,
+                &mut summary,
+                &mut slots,
+            )?;
         }
 
         // 4. Fill free slots with eligible pending tasks.
@@ -338,6 +365,7 @@ pub fn orchestrate(
             summary.spawns += 1;
             log_event(
                 config,
+                chaos,
                 OrchestrateEvent {
                     kind: EventKind::Spawn,
                     task: Some(task_id),
@@ -374,12 +402,13 @@ pub fn orchestrate(
     inputs.sort_by_key(|(start, _)| *start);
     let inputs: Vec<PathBuf> = inputs.into_iter().map(|(_, path)| path).collect();
     let merged_path = config.merged_path();
-    let merge = merge_shards(&inputs, &merged_path, false)?;
+    let merge = merge_shards_chaos(&inputs, &merged_path, false, chaos)?;
     summary.rows = merge.rows;
     summary.merged_bytes = merge.bytes;
     summary.tasks = plan.tasks.len();
     log_event(
         config,
+        chaos,
         OrchestrateEvent::run_level(
             EventKind::Merge,
             format!(
@@ -394,9 +423,15 @@ pub fn orchestrate(
     if let Some(query) = &config.analyze {
         let report = analyze_csv(&merged_path, query)?;
         let analysis_path = config.out_dir.join("analysis.csv");
-        std::fs::write(&analysis_path, report.to_csv_string())?;
+        crate::durable_io::write_atomic_chaos(
+            &analysis_path,
+            report.to_csv_string().as_bytes(),
+            chaos,
+            Failpoint::AnalyzeWrite,
+        )?;
         log_event(
             config,
+            chaos,
             OrchestrateEvent::run_level(
                 EventKind::Analyze,
                 format!(
@@ -418,6 +453,7 @@ pub fn orchestrate(
     }
     log_event(
         config,
+        chaos,
         OrchestrateEvent::run_level(
             EventKind::Complete,
             format!(
@@ -483,24 +519,29 @@ fn task_event(
     }
 }
 
-fn log_event(config: &OrchestrateConfig, event: OrchestrateEvent) {
+fn log_event<C: Chaos>(config: &OrchestrateConfig, chaos: &C, event: OrchestrateEvent) {
     // The log is an audit trail, not a correctness dependency: a full
     // disk must not kill a run whose real state lives in the sidecars.
-    let _ = event.log(&config.out_dir);
+    // (An injected *error* is likewise swallowed; torn/panic faults
+    // still crash here — that is the crash they simulate.)
+    let _ = event.log_chaos(&config.out_dir, chaos);
 }
 
 /// The last progress record's failure text, for exit-event details.
+/// Tolerant of a torn tail line: a worker killed mid-heartbeat must
+/// not hide the terminal record it wrote just before.
 fn last_failure(csv: &Path) -> Option<String> {
     let text = std::fs::read_to_string(progress_path(csv)).ok()?;
-    let records = ProgressRecord::parse_sidecar(&text).ok()?;
+    let (records, _) = ProgressRecord::parse_sidecar_tolerant(&text);
     let last = records.into_iter().next_back()?;
     last.failed.then_some(last.error.unwrap_or_default())
 }
 
 /// Routes one worker exit: verify the manifest for completion, or
 /// consume attempt budget and requeue (resume vs reassign).
-fn handle_exit(
+fn handle_exit<C: Chaos>(
     config: &OrchestrateConfig,
+    chaos: &C,
     plan: &mut Plan,
     schedule: &mut Schedule,
     summary: &mut OrchestrateSummary,
@@ -518,6 +559,7 @@ fn handle_exit(
         plan.tasks[task_id].state = TaskState::Done;
         log_event(
             config,
+            chaos,
             task_event(
                 EventKind::Exit,
                 plan,
@@ -544,11 +586,13 @@ fn handle_exit(
     });
     log_event(
         config,
+        chaos,
         task_event(EventKind::Exit, plan, task_id, &config.out_dir, why.clone()),
     );
     if attempts >= config.max_attempts {
         log_event(
             config,
+            chaos,
             task_event(
                 EventKind::Failed,
                 plan,
@@ -574,6 +618,7 @@ fn handle_exit(
         schedule.resume_next[task_id] = true;
         log_event(
             config,
+            chaos,
             task_event(
                 EventKind::Retry,
                 plan,
@@ -594,6 +639,7 @@ fn handle_exit(
         }
         log_event(
             config,
+            chaos,
             task_event(
                 EventKind::Reassign,
                 plan,
@@ -617,8 +663,9 @@ fn handle_exit(
 /// Attempts one steal: pick the running task with the most remaining
 /// cells, kill its worker, split the post-kill remainder at a config
 /// boundary, resume the straggler on the head and queue the tail.
-fn try_steal(
+fn try_steal<C: Chaos>(
     config: &OrchestrateConfig,
+    chaos: &C,
     plan: &mut Plan,
     schedule: &mut Schedule,
     summary: &mut OrchestrateSummary,
@@ -686,13 +733,14 @@ fn try_steal(
         // untouched — they describe a verified prefix of the kept head.
         m.cells = cells.start..split;
         m.shard = format!("cells:{}..{split}", cells.start);
-        m.store(&csv)?;
+        m.store_chaos(&csv, chaos)?;
         schedule.resume_next[task_id] = true;
     } else {
         schedule.resume_next[task_id] = false;
     }
     log_event(
         config,
+        chaos,
         OrchestrateEvent {
             kind: EventKind::Steal,
             task: Some(task_id),

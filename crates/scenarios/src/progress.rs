@@ -39,36 +39,10 @@ pub fn progress_path(csv: &Path) -> PathBuf {
     csv.with_file_name(name)
 }
 
-/// Writes `contents` to `path` atomically: write a `<path>.tmp` sibling,
-/// then rename over the target. A kill mid-write leaves the previous
-/// file intact rather than a torn one. Shared by the shard manifest and
-/// the progress sidecar so both checkpoints have the same durability.
-pub fn atomic_rewrite(path: &Path, contents: &str) -> io::Result<()> {
-    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
-    tmp_name.push(".tmp");
-    let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
-}
-
-/// Appends one line to `path` (created if missing). The complement of
-/// [`atomic_rewrite`] for grow-only logs: the orchestrator's
-/// `orchestrate.jsonl` event log and the terminal `"failed"` record a
-/// dying shard appends to its (already bounded) progress sidecar both
-/// go through here — one short `write` per line, so concurrent readers
-/// see either the old tail or the new line, never a torn record split
-/// across reads.
-pub fn append_line(path: &Path, line: &str) -> io::Result<()> {
-    use std::io::Write;
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    let mut text = String::with_capacity(line.len() + 1);
-    text.push_str(line);
-    text.push('\n');
-    file.write_all(text.as_bytes())
-}
+// The write primitives both checkpoint sidecars ride on moved to the
+// shared [`crate::durable_io`] module when it grew fsync discipline and
+// chaos probes; the old names stay importable from here.
+pub use crate::durable_io::{append_line, atomic_rewrite};
 
 /// One heartbeat from a shard worker: a snapshot of where the run is
 /// and how fast it is moving. Serialized as one JSON line.
@@ -207,12 +181,36 @@ impl ProgressRecord {
     }
 
     /// Parses a whole sidecar (one record per non-empty line, oldest
-    /// first).
+    /// first). Strict: any bad line fails the whole parse — the right
+    /// contract for tests and tools that must not paper over
+    /// corruption.
     pub fn parse_sidecar(text: &str) -> Result<Vec<ProgressRecord>, SpecError> {
         text.lines()
             .filter(|l| !l.trim().is_empty())
             .map(ProgressRecord::parse)
             .collect()
+    }
+
+    /// Parses a sidecar tolerantly: unparsable lines (a torn tail from
+    /// a crash mid-write, a record from an incompatible build) are
+    /// skipped and described in the returned warnings instead of
+    /// failing the intact records around them. This is what live
+    /// consumers (`scenarios watch`, the orchestrator's failure-text
+    /// probe) use — a monitor that goes blind the moment a worker
+    /// crashes ugliest is a monitor for healthy runs only.
+    pub fn parse_sidecar_tolerant(text: &str) -> (Vec<ProgressRecord>, Vec<String>) {
+        let mut records = Vec::new();
+        let mut warnings = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match ProgressRecord::parse(line) {
+                Ok(record) => records.push(record),
+                Err(e) => warnings.push(format!("line {}: {e}", number + 1)),
+            }
+        }
+        (records, warnings)
     }
 }
 
@@ -256,6 +254,16 @@ impl ProgressWriter {
     /// Appends `record` and rewrites the sidecar atomically, dropping
     /// the oldest records beyond [`PROGRESS_HISTORY`].
     pub fn append(&mut self, record: &ProgressRecord) -> io::Result<()> {
+        self.append_chaos(record, &green_chaos::NoopChaos)
+    }
+
+    /// [`append`](Self::append) with the `progress_rewrite` failpoint
+    /// armed — the shard writer's heartbeat path.
+    pub fn append_chaos<C: green_chaos::Chaos>(
+        &mut self,
+        record: &ProgressRecord,
+        chaos: &C,
+    ) -> io::Result<()> {
         if self.lines.len() >= PROGRESS_HISTORY {
             self.lines.pop_front();
         }
@@ -265,7 +273,12 @@ impl ProgressWriter {
             text.push_str(line);
             text.push('\n');
         }
-        atomic_rewrite(&self.path, &text)
+        crate::durable_io::atomic_rewrite_chaos(
+            &self.path,
+            &text,
+            chaos,
+            green_chaos::Failpoint::ProgressRewrite,
+        )
     }
 }
 
@@ -339,6 +352,23 @@ mod tests {
             "{\"a\": 1}\n{\"b\": 2}\n"
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tolerant_parse_skips_torn_lines_with_warnings() {
+        let good = record();
+        let mut text = good.to_json_line();
+        text.push('\n');
+        text.push_str("{\"schema\": \"green-progress/1\", \"sw"); // torn tail
+        let (records, warnings) = ProgressRecord::parse_sidecar_tolerant(&text);
+        assert_eq!(records, vec![good]);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].starts_with("line 2:"), "{warnings:?}");
+        // Strict parse still refuses the same text.
+        assert!(ProgressRecord::parse_sidecar(&text).is_err());
+        // A healthy sidecar produces no warnings.
+        let (_, warnings) = ProgressRecord::parse_sidecar_tolerant(&record().to_json_line());
+        assert!(warnings.is_empty());
     }
 
     #[test]

@@ -32,10 +32,12 @@ use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use green_chaos::{probe, torn_crash, Chaos, Failpoint, NoopChaos};
 use green_obs::{Counter, NoopRecorder, Recorder, SpanKind, Stopwatch};
 
 use crate::agg::CSV_HEADERS;
-use crate::progress::{atomic_rewrite, current_rss_mb, ProgressRecord, ProgressWriter};
+use crate::durable_io::atomic_rewrite_chaos;
+use crate::progress::{current_rss_mb, ProgressRecord, ProgressWriter};
 use crate::runner::{ProgressFn, StreamSummary, SweepRunner};
 use crate::spec::SpecError;
 use crate::sweep::Sweep;
@@ -263,11 +265,22 @@ impl ShardManifest {
     }
 
     /// Writes the manifest sidecar of `csv` atomically (via
-    /// [`atomic_rewrite`], shared with the progress sidecar), so a kill
-    /// mid-checkpoint leaves the previous checkpoint intact rather than
-    /// a torn sidecar.
+    /// [`crate::durable_io::atomic_rewrite`], shared with the progress
+    /// sidecar), so a kill mid-checkpoint leaves the previous
+    /// checkpoint intact rather than a torn sidecar.
     pub fn store(&self, csv: &Path) -> std::io::Result<()> {
-        atomic_rewrite(&manifest_path(csv), &self.to_string())
+        self.store_chaos(csv, &NoopChaos)
+    }
+
+    /// [`store`](Self::store) with the `manifest_rewrite` failpoint
+    /// armed — the shard writer's checkpoint path.
+    pub fn store_chaos<C: Chaos>(&self, csv: &Path, chaos: &C) -> std::io::Result<()> {
+        atomic_rewrite_chaos(
+            &manifest_path(csv),
+            &self.to_string(),
+            chaos,
+            Failpoint::ManifestRewrite,
+        )
     }
 }
 
@@ -282,16 +295,14 @@ fn invalid(message: impl Into<String>) -> std::io::Error {
 /// traffic on million-cell grids.
 pub const CHECKPOINT_EVERY: usize = 64;
 
-/// Deterministic failure injection for fault-tolerance tests: the knobs
-/// the chaos tests (and the CI chaos job's in-repo rehearsal) use to
-/// make a shard worker die or straggle at an exact, reproducible point.
-/// All-`None`/zero (the [`Default`]) injects nothing and costs nothing.
-///
-/// The `scenarios` CLI wires these from the environment
-/// ([`ShardChaos::from_env`]): `SCENARIOS_CHAOS_FAIL_ROWS` (error out
-/// after N rows), `SCENARIOS_CHAOS_PANIC_ROWS` (panic after N rows),
-/// `SCENARIOS_CHAOS_SLEEP_MS` (sleep per row — a synthetic straggler
-/// for work-stealing tests).
+/// The PR 7 row-hook knobs, kept as a compat shim over the
+/// [`green_chaos`] failpoint registry: the old environment names
+/// (`SCENARIOS_CHAOS_FAIL_ROWS`, `SCENARIOS_CHAOS_PANIC_ROWS`,
+/// `SCENARIOS_CHAOS_SLEEP_MS`) still work, but they now compile to
+/// `fragment_row` rules in the same registry the `--chaos` /
+/// `SCENARIOS_CHAOS` spec grammar feeds ([`ShardChaos::spec`]) — one
+/// injection mechanism, two spellings. All-`None`/zero (the
+/// [`Default`]) injects nothing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardChaos {
     /// Return an I/O error after this many rows written by this
@@ -317,6 +328,28 @@ impl ShardChaos {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
         }
+    }
+
+    /// These knobs as `--chaos` spec rules (empty when inert). "After
+    /// N rows" means the (N+1)th row write of this invocation fails —
+    /// `fragment_row` hit N+1 — exactly the old boundary. The delay
+    /// rule comes first so a straggler that also crashes sleeps before
+    /// dying, as the old hooks did.
+    pub fn spec(&self) -> String {
+        let mut rules: Vec<String> = Vec::new();
+        if self.sleep_per_row_ms > 0 {
+            rules.push(format!(
+                "fragment_row=delay:{}@hit:1",
+                self.sleep_per_row_ms
+            ));
+        }
+        if let Some(n) = self.fail_after_rows {
+            rules.push(format!("fragment_row=err@hit:{}", n + 1));
+        }
+        if let Some(n) = self.panic_after_rows {
+            rules.push(format!("fragment_row=panic@hit:{}", n + 1));
+        }
+        rules.join(";")
     }
 }
 
@@ -354,8 +387,6 @@ pub struct ShardJob<'a> {
     /// ([`crate::analyze::columnar`]) once the shard completes, so
     /// `scenarios analyze` never re-parses the CSV text.
     pub columnar: bool,
-    /// Failure injection for fault-tolerance tests (default: none).
-    pub chaos: ShardChaos,
 }
 
 /// What [`run_shard`] reports.
@@ -381,8 +412,10 @@ pub struct ShardOutcome {
 /// counted at the write boundary. Every checkpoint also appends a
 /// heartbeat to the `.progress` sidecar (same atomic-rewrite cadence)
 /// and, under a recording [`Recorder`], books the checkpoint's cost as
-/// a [`SpanKind::Checkpoint`] span.
-struct ShardWriter<'a, R: Recorder> {
+/// a [`SpanKind::Checkpoint`] span. Three failpoints arm this path:
+/// `fragment_row` at every row write, `manifest_rewrite` and
+/// `progress_rewrite` inside the checkpoint.
+struct ShardWriter<'a, R: Recorder, C: Chaos> {
     file: std::fs::File,
     csv: &'a Path,
     manifest: ShardManifest,
@@ -396,11 +429,11 @@ struct ShardWriter<'a, R: Recorder> {
     resumed_rows: usize,
     started: Instant,
     progress: ProgressWriter,
-    chaos: ShardChaos,
+    chaos: &'a C,
     obs: &'a R,
 }
 
-impl<R: Recorder> ShardWriter<'_, R> {
+impl<R: Recorder, C: Chaos> ShardWriter<'_, R, C> {
     /// Absorbs non-row bytes (the header) into the checkpoint state.
     fn absorb_header(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         self.file.write_all(bytes)?;
@@ -414,7 +447,7 @@ impl<R: Recorder> ShardWriter<'_, R> {
         let watch = Stopwatch::<R>::start();
         self.file.flush()?;
         self.manifest.hash = self.hash.0;
-        self.manifest.store(self.csv)?;
+        self.manifest.store_chaos(self.csv, self.chaos)?;
         self.heartbeat()?;
         self.since_checkpoint = 0;
         if R::ENABLED {
@@ -446,7 +479,7 @@ impl<R: Recorder> ShardWriter<'_, R> {
                     .collect()
             })
             .unwrap_or_default();
-        self.progress.append(&ProgressRecord {
+        let record = ProgressRecord {
             sweep: self.manifest.sweep.clone(),
             shard: self.manifest.shard.clone(),
             rows: self.manifest.rows,
@@ -459,29 +492,24 @@ impl<R: Recorder> ShardWriter<'_, R> {
             failed: false,
             error: None,
             complete: self.manifest.complete,
-        })
+        };
+        self.progress.append_chaos(&record, self.chaos)
     }
 }
 
-impl<R: Recorder> Write for ShardWriter<'_, R> {
+impl<R: Recorder, C: Chaos> Write for ShardWriter<'_, R, C> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        // Failure injection happens at the row boundary — the exact
-        // place a real crash tears a shard — so the fault-tolerance
-        // tests exercise the same checkpoint/resume machinery a SIGKILL
-        // does, deterministically.
-        let written = self.manifest.rows - self.resumed_rows;
-        if self.chaos.sleep_per_row_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(
-                self.chaos.sleep_per_row_ms,
-            ));
-        }
-        if self.chaos.fail_after_rows.is_some_and(|n| written >= n) {
-            return Err(std::io::Error::other(format!(
-                "chaos: injected failure after {written} rows"
-            )));
-        }
-        if self.chaos.panic_after_rows.is_some_and(|n| written >= n) {
-            panic!("chaos: injected panic after {written} rows");
+        // The `fragment_row` failpoint fires at the row boundary — the
+        // exact place a real crash tears a shard — so the
+        // fault-tolerance tests exercise the same checkpoint/resume
+        // machinery a SIGKILL does, deterministically. A torn fault
+        // additionally leaves a partial row past the checkpoint, the
+        // tail `--resume` must truncate.
+        if let Some(budget) = probe(self.chaos, Failpoint::FragmentRow)? {
+            let k = budget.min(buf.len());
+            self.file.write_all(&buf[..k])?;
+            let _ = self.file.sync_all();
+            torn_crash(Failpoint::FragmentRow, k);
         }
         self.file.write_all(buf)?;
         self.hash.update(buf);
@@ -530,9 +558,24 @@ pub fn run_shard_obs<R: Recorder>(
     progress: Option<&ProgressFn>,
     obs: &R,
 ) -> std::io::Result<ShardOutcome> {
+    run_shard_chaos(runner, job, progress, obs, &NoopChaos)
+}
+
+/// [`run_shard_obs`] with a failure-injection handle: the CLI's
+/// `--chaos` / `SCENARIOS_CHAOS` path. Every durable write of the
+/// shard invocation — fragment rows, manifest checkpoints, progress
+/// heartbeats, the columnar sidecar — runs with its failpoint armed.
+/// With the default [`NoopChaos`] every probe compiles away.
+pub fn run_shard_chaos<R: Recorder, C: Chaos>(
+    runner: &SweepRunner,
+    job: &ShardJob<'_>,
+    progress: Option<&ProgressFn>,
+    obs: &R,
+    chaos: &C,
+) -> std::io::Result<ShardOutcome> {
     let started = Instant::now();
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_shard_inner(runner, job, progress, obs)
+        run_shard_inner(runner, job, progress, obs, chaos)
     }));
     match attempt {
         Ok(Ok(outcome)) => Ok(outcome),
@@ -587,11 +630,12 @@ fn record_failure(job: &ShardJob<'_>, started: Instant, error: &str) {
     );
 }
 
-fn run_shard_inner<R: Recorder>(
+fn run_shard_inner<R: Recorder, C: Chaos>(
     runner: &SweepRunner,
     job: &ShardJob<'_>,
     progress: Option<&ProgressFn>,
     obs: &R,
+    chaos: &C,
 ) -> std::io::Result<ShardOutcome> {
     let replicates = job.sweep.seeds.len().max(1);
     // Resolve the filtered grid and the assignment exactly once: the
@@ -702,7 +746,7 @@ fn run_shard_inner<R: Recorder>(
             // (still backfills a requested columnar sidecar a previous
             // non-columnar invocation didn't write).
             if job.columnar && !crate::analyze::cols_path(job.csv).exists() {
-                crate::analyze::write_sidecar(job.csv)?;
+                crate::analyze::write_sidecar_chaos(job.csv, chaos)?;
             }
             return Ok(ShardOutcome {
                 range,
@@ -733,7 +777,7 @@ fn run_shard_inner<R: Recorder>(
         resumed_rows,
         started: Instant::now(),
         progress: ProgressWriter::new(job.csv),
-        chaos: job.chaos,
+        chaos,
         obs,
     };
     if resumed_rows == 0 && writer.manifest.bytes == 0 {
@@ -767,7 +811,7 @@ fn run_shard_inner<R: Recorder>(
         // The CSV is final and hash-stable now — encode the columnar
         // sidecar from it so the sidecar's binding triple (rows, bytes,
         // hash) matches the manifest exactly.
-        crate::analyze::write_sidecar(job.csv)?;
+        crate::analyze::write_sidecar_chaos(job.csv, chaos)?;
     }
     Ok(ShardOutcome {
         range,
@@ -905,10 +949,25 @@ pub fn merge_shards(
     out: &Path,
     partial: bool,
 ) -> std::io::Result<MergeSummary> {
+    merge_shards_chaos(inputs, out, partial, &NoopChaos)
+}
+
+/// [`merge_shards`] with the `merge_write` failpoint armed once per
+/// shard body. The merged CSV streams into an atomic staging file
+/// ([`crate::durable_io::AtomicFile`]: tmp → sync → rename), so a
+/// crash mid-merge leaves the previous output (or nothing) — never a
+/// prefix that happens to end on a row boundary and reads as a
+/// silently smaller grid.
+pub fn merge_shards_chaos<C: Chaos>(
+    inputs: &[PathBuf],
+    out: &Path,
+    partial: bool,
+    chaos: &C,
+) -> std::io::Result<MergeSummary> {
     let shards = load_shard_set(inputs, partial)?;
 
     let header = green_bench::export::csv_line(&CSV_HEADERS);
-    let mut writer = std::io::BufWriter::new(std::fs::File::create(out)?);
+    let mut writer = std::io::BufWriter::new(crate::durable_io::AtomicFile::create(out)?);
     let mut summary = MergeSummary {
         shards: shards.len(),
         rows: 0,
@@ -927,11 +986,20 @@ pub fn merge_shards(
         } else {
             &body[header.len()..]
         };
+        if let Some(budget) = probe(chaos, Failpoint::MergeWrite)? {
+            // Partial-write-then-crash: the torn bytes land in the tmp
+            // sibling the atomic protocol stages through, never in
+            // `out` itself.
+            let k = budget.min(emit.len());
+            writer.write_all(&emit[..k])?;
+            let _ = writer.flush();
+            torn_crash(Failpoint::MergeWrite, k);
+        }
         writer.write_all(emit)?;
         summary.rows += manifest.rows;
         summary.bytes += emit.len() as u64;
     }
-    writer.flush()?;
+    writer.into_inner().map_err(|e| e.into_error())?.commit()?;
     Ok(summary)
 }
 

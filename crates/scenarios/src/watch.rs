@@ -125,6 +125,12 @@ pub struct WatchReport {
     pub stall_after_s: f64,
     /// Orchestrator state, when the directory carries an event log.
     pub orchestrator: Option<OrchestratorView>,
+    /// Unparseable JSONL lines skipped during the scan, one message per
+    /// line, prefixed with the file they came from. A crash can tear
+    /// the final line of a `.progress` sidecar or `orchestrate.jsonl`;
+    /// a live view must render the intact prefix and say what it
+    /// skipped rather than refuse the whole directory.
+    pub warnings: Vec<String>,
 }
 
 impl WatchReport {
@@ -133,6 +139,7 @@ impl WatchReport {
     /// at the wrong place should say so rather than render nothing.
     pub fn scan(dir: &Path, stall_after_s: f64) -> io::Result<WatchReport> {
         let mut shards = Vec::new();
+        let mut warnings = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
@@ -142,7 +149,7 @@ impl WatchReport {
                 continue;
             };
             let csv = path.with_file_name(csv_name);
-            shards.push(shard_status(&csv));
+            shards.push(shard_status(&csv, &mut warnings));
         }
         if shards.is_empty() {
             return Err(io::Error::new(
@@ -162,16 +169,24 @@ impl WatchReport {
             };
             key(a).cmp(&key(b))
         });
-        let orchestrator = match std::fs::read_to_string(orchestrate_log_path(dir)) {
-            Ok(text) => Some(OrchestratorView::from_events(
-                &OrchestrateEvent::parse_log(&text).unwrap_or_default(),
-            )),
+        let log_path = orchestrate_log_path(dir);
+        let orchestrator = match std::fs::read_to_string(&log_path) {
+            Ok(text) => {
+                let (events, torn) = OrchestrateEvent::parse_log_tolerant(&text);
+                let log_name = log_path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| log_path.display().to_string());
+                warnings.extend(torn.into_iter().map(|w| format!("{log_name}: {w}")));
+                Some(OrchestratorView::from_events(&events))
+            }
             Err(_) => None,
         };
         Ok(WatchReport {
             shards,
             stall_after_s,
             orchestrator,
+            warnings,
         })
     }
 
@@ -248,6 +263,11 @@ impl WatchReport {
                 "orchestrator: {state} — {} retries, {} reassigns, {} steals, {} stalls\n",
                 view.retries, view.reassigns, view.steals, view.stalls,
             ));
+        }
+        // Torn-line warnings last, so the table above stays identical
+        // to a clean directory's (a healthy run renders no warnings).
+        for warning in &self.warnings {
+            out.push_str(&format!("warning: skipped unparseable {warning}\n"));
         }
         out
     }
@@ -353,8 +373,10 @@ pub fn heartbeat_age_s(csv: &Path) -> Option<f64> {
         .map(|age| age.as_secs_f64())
 }
 
-/// Joins one shard CSV's sidecars into a [`ShardStatus`].
-fn shard_status(csv: &Path) -> ShardStatus {
+/// Joins one shard CSV's sidecars into a [`ShardStatus`]. Torn or
+/// garbage sidecar lines are skipped into `warnings` (prefixed with
+/// the sidecar's file name) — the intact prefix still renders.
+fn shard_status(csv: &Path, warnings: &mut Vec<String>) -> ShardStatus {
     let name = csv
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
@@ -362,10 +384,15 @@ fn shard_status(csv: &Path) -> ShardStatus {
     let manifest = ShardManifest::load(csv).map_err(|e| e.to_string());
     let complete = manifest.as_ref().map(|m| m.complete).unwrap_or(false);
     let progress = progress_path(csv);
-    let last = std::fs::read_to_string(&progress)
-        .ok()
-        .and_then(|text| ProgressRecord::parse_sidecar(&text).ok())
-        .and_then(|records| records.into_iter().next_back());
+    let last = std::fs::read_to_string(&progress).ok().and_then(|text| {
+        let (records, torn) = ProgressRecord::parse_sidecar_tolerant(&text);
+        let sidecar_name = progress
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| progress.display().to_string());
+        warnings.extend(torn.into_iter().map(|w| format!("{sidecar_name}: {w}")));
+        records.into_iter().next_back()
+    });
     // Only sampled for incomplete shards — a finished shard's age is
     // irrelevant and would make rendering non-deterministic.
     let heartbeat_age_s = if complete { None } else { heartbeat_age_s(csv) };
@@ -472,6 +499,7 @@ mod tests {
             ],
             stall_after_s: STALL_AFTER_S,
             orchestrator: None,
+            warnings: vec![],
         };
         let a = report.render();
         assert_eq!(a, report.render(), "render must be pure");
@@ -499,6 +527,7 @@ mod tests {
             shards: vec![stale],
             stall_after_s: STALL_AFTER_S,
             orchestrator: None,
+            warnings: vec![],
         };
         assert!(report.render().contains("STALLED"), "{}", report.render());
     }
@@ -528,6 +557,7 @@ mod tests {
             shards: vec![crashed],
             stall_after_s: STALL_AFTER_S,
             orchestrator: None,
+            warnings: vec![],
         };
         let table = report.render();
         assert!(
@@ -580,6 +610,7 @@ mod tests {
             }],
             stall_after_s: STALL_AFTER_S,
             orchestrator: Some(view),
+            warnings: vec![],
         };
         let table = report.render();
         assert!(table.contains("att"), "{table}");
@@ -587,6 +618,34 @@ mod tests {
             table.contains("orchestrator: complete — 1 retries, 0 reassigns, 0 steals, 0 stalls"),
             "{table}"
         );
+    }
+
+    #[test]
+    fn warnings_render_after_the_table_and_clean_runs_render_none() {
+        let shard = ShardStatus {
+            name: "s0.csv".into(),
+            manifest: Ok(manifest("0/1", 0..10, 5, true)),
+            last: None,
+            heartbeat_age_s: None,
+        };
+        let clean = WatchReport {
+            shards: vec![shard.clone()],
+            stall_after_s: STALL_AFTER_S,
+            orchestrator: None,
+            warnings: vec![],
+        };
+        assert!(!clean.render().contains("warning:"));
+        let torn = WatchReport {
+            warnings: vec!["s0.csv.progress: line 4: bad json".into()],
+            ..clean
+        };
+        let table = torn.render();
+        assert!(
+            table.ends_with("warning: skipped unparseable s0.csv.progress: line 4: bad json\n"),
+            "{table}"
+        );
+        // The table itself is unchanged by the warning.
+        assert!(table.contains("1/1 shards complete"), "{table}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 
 use green_scenarios::{
     analyze_csv, analyze_dir, analyze_path, manifest_path, merge_shards, AnalyzeQuery, MethodSpec,
-    PolicySpec, Shard, ShardAssignment, ShardChaos, ShardJob, ShardManifest, Sweep, SweepRunner,
+    PolicySpec, Shard, ShardAssignment, ShardJob, ShardManifest, Sweep, SweepRunner,
 };
 
 /// A 6-configuration × 2-replicate grid, same shape as shard_golden —
@@ -53,7 +53,6 @@ fn run_one_shard(sweep: &Sweep, shard: Shard, csv: &Path, columnar: bool) {
         resume: false,
         checkpoint_every: 1,
         columnar,
-        chaos: ShardChaos::default(),
     };
     green_scenarios::run_shard(&SweepRunner::new(1), &job, None).expect("shard runs");
 }

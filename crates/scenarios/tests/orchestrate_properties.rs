@@ -9,8 +9,8 @@
 use std::path::PathBuf;
 
 use green_scenarios::{
-    merge_shards, run_shard, MethodSpec, Plan, PolicySpec, ShardAssignment, ShardChaos, ShardJob,
-    Sweep, SweepRunner,
+    merge_shards, run_shard, MethodSpec, Plan, PolicySpec, ShardAssignment, ShardJob, Sweep,
+    SweepRunner,
 };
 use proptest::prelude::*;
 
@@ -117,7 +117,6 @@ fn split_fragments_merge_back_to_streamed_bytes() {
             resume: false,
             checkpoint_every: 1,
             columnar: false,
-            chaos: ShardChaos::default(),
         };
         run_shard(&SweepRunner::new(1), &job, None).expect("fragment runs");
         fragments.push((task.cells.start, csv));

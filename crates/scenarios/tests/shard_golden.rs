@@ -6,10 +6,12 @@
 
 use std::path::{Path, PathBuf};
 
+use green_chaos::ChaosRegistry;
+use green_obs::NoopRecorder;
 use green_scenarios::shard::Fnv1a;
 use green_scenarios::{
-    manifest_path, merge_shards, run_shard, shard_ranges, MethodSpec, PolicySpec, Shard,
-    ShardAssignment, ShardChaos, ShardJob, ShardManifest, Sweep, SweepRunner,
+    manifest_path, merge_shards, run_shard, run_shard_chaos, shard_ranges, MethodSpec, PolicySpec,
+    Shard, ShardAssignment, ShardChaos, ShardJob, ShardManifest, Sweep, SweepRunner,
 };
 
 /// A 6-configuration × 2-replicate grid — small enough that every test
@@ -61,7 +63,6 @@ fn run_one_shard(sweep: &Sweep, shard: Shard, csv: &Path, resume: bool) {
         resume,
         checkpoint_every: 1,
         columnar: false,
-        chaos: ShardChaos::default(),
     };
     run_shard(&SweepRunner::new(1), &job, None).expect("shard runs");
 }
@@ -209,7 +210,6 @@ fn resume_refuses_a_tampered_prefix_and_a_foreign_checkpoint() {
         resume: true,
         checkpoint_every: 1,
         columnar: false,
-        chaos: ShardChaos::default(),
     };
     let err = run_shard(&SweepRunner::new(1), &job, None).unwrap_err();
     assert!(err.to_string().contains("hash mismatch"), "{err}");
@@ -347,7 +347,7 @@ fn dying_shard_leaves_a_terminal_failed_record_then_resumes_clean() {
     let reference = reference_csv(&sweep);
     let scratch = Scratch::new("failrec");
     let csv = scratch.path("whole.csv");
-    let job = |resume: bool, chaos: ShardChaos| ShardJob {
+    let job = |resume: bool| ShardJob {
         sweep: &sweep,
         filter: None,
         assignment: ShardAssignment::Whole,
@@ -355,16 +355,27 @@ fn dying_shard_leaves_a_terminal_failed_record_then_resumes_clean() {
         resume,
         checkpoint_every: 1,
         columnar: false,
-        chaos,
     };
+    // The legacy row knobs compile to `fragment_row` registry rules —
+    // each invocation gets a fresh registry, so "after N rows" counts
+    // this invocation's writes exactly as the old hooks did.
+    let registry =
+        |chaos: ShardChaos| ChaosRegistry::from_spec(&chaos.spec()).expect("compat spec compiles");
 
     // Error path: the injected I/O failure surfaces as Err and the
     // sidecar's last record is terminal-failed with the error text.
-    let chaos = ShardChaos {
+    let chaos = registry(ShardChaos {
         fail_after_rows: Some(2),
         ..ShardChaos::default()
-    };
-    let err = run_shard(&SweepRunner::new(1), &job(false, chaos), None).unwrap_err();
+    });
+    let err = run_shard_chaos(
+        &SweepRunner::new(1),
+        &job(false),
+        None,
+        &NoopRecorder,
+        &chaos,
+    )
+    .unwrap_err();
     assert!(err.to_string().contains("chaos"), "{err}");
     let sidecar = std::fs::read_to_string(progress_path(&csv)).expect("sidecar exists");
     let records = ProgressRecord::parse_sidecar(&sidecar).expect("sidecar parses");
@@ -381,12 +392,18 @@ fn dying_shard_leaves_a_terminal_failed_record_then_resumes_clean() {
     assert!(!records[0].failed);
 
     // Panic path: same contract, panic text captured.
-    let chaos = ShardChaos {
+    let chaos = registry(ShardChaos {
         panic_after_rows: Some(1),
         ..ShardChaos::default()
-    };
+    });
     let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = run_shard(&SweepRunner::new(1), &job(true, chaos), None);
+        let _ = run_shard_chaos(
+            &SweepRunner::new(1),
+            &job(true),
+            None,
+            &NoopRecorder,
+            &chaos,
+        );
     }));
     assert!(panicked.is_err(), "panic propagates after recording");
     let sidecar = std::fs::read_to_string(progress_path(&csv)).expect("sidecar exists");
@@ -400,11 +417,6 @@ fn dying_shard_leaves_a_terminal_failed_record_then_resumes_clean() {
 
     // And the range still finishes: resume without chaos converges to
     // the byte-identical reference.
-    run_shard(
-        &SweepRunner::new(1),
-        &job(true, ShardChaos::default()),
-        None,
-    )
-    .expect("resume finishes");
+    run_shard(&SweepRunner::new(1), &job(true), None).expect("resume finishes");
     assert_eq!(std::fs::read(&csv).unwrap(), reference);
 }

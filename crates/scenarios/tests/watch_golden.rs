@@ -12,7 +12,7 @@ use green_obs::{Counter, StatsRecorder};
 use green_scenarios::watch::{watch_once, WatchReport, STALL_AFTER_S};
 use green_scenarios::{
     progress_path, run_shard, run_shard_obs, MethodSpec, PolicySpec, ProgressRecord, Shard,
-    ShardAssignment, ShardChaos, ShardJob, Sweep, SweepRunner, PROGRESS_SCHEMA,
+    ShardAssignment, ShardJob, Sweep, SweepRunner, PROGRESS_SCHEMA,
 };
 
 /// The same 6-configuration × 2-replicate grid the shard golden tests
@@ -56,7 +56,6 @@ fn job<'a>(sweep: &'a Sweep, shard: Shard, csv: &'a Path, resume: bool) -> Shard
         resume,
         checkpoint_every: 1,
         columnar: false,
-        chaos: ShardChaos::default(),
     }
 }
 
@@ -137,6 +136,49 @@ fn shard_runs_heartbeat_schema_valid_progress_sidecars() {
     let records = ProgressRecord::parse_sidecar(&text).expect("schema-valid");
     assert!(records.last().unwrap().complete);
     assert!(records.iter().all(|r| r.phases_ms.is_empty()));
+}
+
+#[test]
+fn watch_skips_torn_jsonl_tails_with_a_warning_instead_of_erroring() {
+    use std::fs::OpenOptions;
+    use std::io::Write as _;
+
+    let sweep = grid();
+    let scratch = Scratch::new("torn");
+    let csv = scratch.path("shard_0.csv");
+    run_shard(
+        &SweepRunner::new(1),
+        &job(&sweep, Shard { index: 0, of: 3 }, &csv, false),
+        None,
+    )
+    .expect("shard runs");
+
+    // Tear the progress sidecar's final line (a crash mid-append) and
+    // drop a torn orchestrate log next to it.
+    let mut sidecar = OpenOptions::new()
+        .append(true)
+        .open(progress_path(&csv))
+        .unwrap();
+    sidecar.write_all(b"{\"schema\": \"green-progre").unwrap();
+    std::fs::write(
+        scratch.path("orchestrate.jsonl"),
+        "{\"schema\": \"green-orch",
+    )
+    .unwrap();
+
+    let report = WatchReport::scan(&scratch.0, STALL_AFTER_S).expect("scan tolerates torn tails");
+    assert!(report.all_complete(), "intact records still parse");
+    assert_eq!(report.warnings.len(), 2, "{:?}", report.warnings);
+    let table = report.render();
+    assert!(table.contains("complete"), "{table}");
+    assert!(
+        table.contains("warning: skipped unparseable shard_0.csv.progress: line "),
+        "{table}"
+    );
+    assert!(
+        table.contains("warning: skipped unparseable orchestrate.jsonl: line 1:"),
+        "{table}"
+    );
 }
 
 #[test]

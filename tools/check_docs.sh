@@ -57,7 +57,8 @@ done
 
 # 4. The README links every page of the book.
 for page in docs/architecture.md docs/sweep-format.md docs/cli.md \
-        docs/observability.md docs/orchestration.md docs/analytics.md; do
+        docs/observability.md docs/orchestration.md docs/analytics.md \
+        docs/robustness.md; do
     if ! grep -q "$page" README.md; then
         fail "README.md does not link $page"
     fi
@@ -123,6 +124,29 @@ for name in $col_types; do
 done
 if ! grep -q 'green-cols/1' docs/analytics.md; then
     fail "columnar schema string green-cols/1 is undocumented in docs/analytics.md"
+fi
+
+# 9. The chaos surface cannot drift from its page: every failpoint
+#    wire name the registry defines must have a catalog row in
+#    docs/robustness.md, and every `--chaos` flag a binary parses must
+#    be documented in docs/cli.md and docs/robustness.md.
+chaos_src=crates/chaos/src/lib.rs
+failpoint_names=$(sed -n '/pub fn name/,/^    }/p' "$chaos_src" \
+    | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+[ -n "$failpoint_names" ] || fail "could not extract failpoint names from $chaos_src"
+for name in $failpoint_names; do
+    if ! grep -qE "^\| \`$name\` \|" docs/robustness.md; then
+        fail "failpoint \`$name\` is undocumented in docs/robustness.md"
+    fi
+done
+if grep -qF '"--chaos"' "$scenarios_src"; then
+    for doc in docs/cli.md docs/robustness.md; do
+        if ! grep -qF -- '--chaos' "$doc"; then
+            fail "the --chaos flag is undocumented in $doc"
+        fi
+    done
+else
+    fail "docs/robustness.md documents --chaos but $scenarios_src does not parse it"
 fi
 
 # 5. Workload presets stay in sync between parser and docs.
