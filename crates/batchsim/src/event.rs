@@ -3,14 +3,17 @@
 //! [`EventQueue`] is a bucketed calendar queue tuned for the simulator's
 //! near-monotone schedule pattern (events are pushed at or after the
 //! current simulation time, spread over a multi-month horizon). Events
-//! land in fixed-width time buckets in O(1); only the bucket currently
-//! being drained lives in a small binary heap, so each event pays one
-//! cheap `Vec` push plus heap traffic proportional to a *bucket's*
-//! population instead of the whole pending set. Pop order is pinned
-//! bit-for-bit to a plain `BinaryHeap` over `(time, seq)` — equal
-//! timestamps break ties by insertion order — which
-//! `tests/event_queue_props.rs` asserts over random and adversarial
-//! streams.
+//! land in fixed-width time buckets in O(1) and are drained a **bucket
+//! batch** at a time: the bucket under the cursor is sorted once and
+//! popped off its tail in O(1) per event, while a small binary heap
+//! (`front`) absorbs only the stragglers pushed *behind* the cursor —
+//! so steady-state pops pay a branch and a `Vec::pop` instead of heap
+//! traffic per event. Pop order is pinned bit-for-bit to a plain
+//! `BinaryHeap` over `(time, seq)` — equal timestamps break ties by
+//! insertion order — which `tests/event_queue_props.rs` asserts over
+//! random and adversarial streams, and
+//! `tests/soa_equivalence.rs` pins end-to-end against pre-change run
+//! digests.
 
 use green_units::TimePoint;
 use std::cmp::Ordering;
@@ -83,20 +86,28 @@ fn bucket_of(secs: f64) -> usize {
     (secs as u64 >> BUCKET_SHIFT) as usize
 }
 
-/// Earliest-first event queue: a calendar of fixed-width buckets with a
-/// sorted (heap) front.
+/// Earliest-first event queue: a calendar of fixed-width buckets drained
+/// in sorted batches, with a straggler heap in front.
 ///
 /// Invariant: every event in `buckets[i]` for `i >= merged_through` has a
-/// finite timestamp inside bucket `i`; everything earlier lives in
+/// finite timestamp inside bucket `i`; `batch` holds the most recently
+/// drained bucket (absolute index `merged_through - 1`), sorted ascending
+/// by the reversed `Event` ordering so its **tail** is the earliest
+/// pending batch event; everything pushed behind the cursor lives in
 /// `front`, and NaN/+inf events live only in `tail` (never `front` — a
 /// parked non-finite front minimum would outrank later finite pushes).
-/// The front's minimum is therefore the global minimum, because any
-/// bucketed event's time is at least `merged_through << BUCKET_SHIFT`,
-/// an upper bound on every front timestamp.
+/// The earliest pending event is therefore the (time, seq)-max of
+/// `batch.last()` and `front.peek()`: any *bucketed* event's time is at
+/// least `merged_through << BUCKET_SHIFT`, an upper bound on every front
+/// and batch timestamp, and `front`/`batch` are merged at the comparison
+/// point — the same total order a single shared heap would produce.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    /// The drain head: all events at or before the merge cursor.
+    /// Stragglers pushed at or before the merge cursor.
     front: BinaryHeap<Event>,
+    /// The bucket currently being drained, sorted ascending by the
+    /// reversed `Event` ordering (earliest at the tail).
+    batch: Vec<Event>,
     /// Calendar buckets: `buckets[i]` holds absolute bucket `base + i`,
     /// so a rebase to far-future times never allocates proportional to
     /// absolute time.
@@ -157,23 +168,41 @@ impl EventQueue {
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
         loop {
-            if let Some(event) = self.front.pop() {
-                self.len -= 1;
-                return Some(event);
+            // The earliest pending event is the larger (under the
+            // reversed ordering) of the batch tail and the front top.
+            // Sequence numbers are unique, so the comparison is strict
+            // and reproduces a shared heap's order exactly.
+            match (self.batch.last(), self.front.peek()) {
+                (Some(batch), Some(front)) if batch > front => {
+                    self.len -= 1;
+                    return self.batch.pop();
+                }
+                (Some(_), None) => {
+                    self.len -= 1;
+                    return self.batch.pop();
+                }
+                (_, Some(_)) => {
+                    self.len -= 1;
+                    return self.front.pop();
+                }
+                (None, None) => {}
             }
             // Advance the merge cursor to the next populated bucket and
-            // drain it into the front. The cursor only moves forward, so
+            // take it as the new drain batch: one sort per bucket, then
+            // O(1) pops off the tail. The cursor only moves forward, so
             // the total scan over a queue's lifetime is O(buckets).
             while self.merged_through - self.base < self.buckets.len() {
                 let rel = self.merged_through - self.base;
                 self.merged_through += 1;
                 if !self.buckets[rel].is_empty() {
-                    let drained = std::mem::take(&mut self.buckets[rel]);
-                    self.front.extend(drained);
+                    // Swap, keeping the drained batch's allocation alive
+                    // in the calendar for the next events bucketed here.
+                    std::mem::swap(&mut self.batch, &mut self.buckets[rel]);
+                    self.batch.sort_unstable();
                     break;
                 }
             }
-            if !self.front.is_empty() {
+            if !self.batch.is_empty() {
                 continue;
             }
             if self.merged_through - self.base >= self.buckets.len() {
@@ -235,6 +264,7 @@ impl EventQueue {
     /// indistinguishable from a new one.
     pub fn reset(&mut self) {
         self.front.clear();
+        self.batch.clear();
         self.tail.clear();
         for bucket in &mut self.buckets {
             bucket.clear();

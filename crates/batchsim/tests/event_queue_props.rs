@@ -152,6 +152,58 @@ proptest! {
         }
         check_stream(&ops);
     }
+    /// Batch-draining stress: every push lands in the first calendar
+    /// bucket, so pops drain from the sorted batch while new arrivals
+    /// route into the very bucket being drained (the `front` overflow
+    /// path). Ties are dense on purpose — FIFO order across the
+    /// batch/front boundary is exactly what batched draining must not
+    /// perturb.
+    #[test]
+    fn same_bucket_floods_with_mid_drain_pushes_match_reference(
+        ops in prop::collection::vec(
+            prop_oneof![
+                // Anywhere inside bucket 0 (the 1024 s calendar width).
+                (0u32..1024).prop_map(|t| Some(t as f64)),
+                // A handful of instants, so exact ties are the norm.
+                (0u32..6).prop_map(|t| Some(t as f64 * 100.0)),
+                Just(Some(0.0)),
+                // Pops outnumber the other arms: the batch is usually
+                // mid-drain when the next push arrives.
+                Just(None),
+                Just(None),
+                Just(None),
+            ],
+            1..300,
+        )
+    ) {
+        check_stream(&ops);
+    }
+
+    /// Far-future rebase under batched draining: drain the queue
+    /// completely (the rebase path is reachable only once the batch and
+    /// its front spill are both empty), then push past the calendar
+    /// horizon so the bucket origin must rebase, then flood the rebased
+    /// neighborhood with ties. Order must still match the reference
+    /// heap event for event.
+    #[test]
+    fn far_future_rebase_after_batch_drain_matches_reference(
+        near in prop::collection::vec(0u32..64, 1..40),
+        jump in 1.0e10f64..9.0e11,
+        tail in prop::collection::vec(0u32..16, 0..40),
+    ) {
+        let mut ops: Vec<Option<f64>> = Vec::new();
+        for t in &near {
+            ops.push(Some(*t as f64 * 513.0));
+        }
+        // Drain to empty (plus one pop on the empty queue).
+        ops.extend(std::iter::repeat_n(None, near.len() + 1));
+        // The horizon jump, then dense work around the rebased origin.
+        ops.push(Some(jump));
+        for t in tail {
+            ops.push(Some(jump + t as f64 * 7.0));
+        }
+        check_stream(&ops);
+    }
 }
 
 #[test]

@@ -1,0 +1,291 @@
+//! Differential battery pinning the data-oriented cell core to the
+//! pre-change scalar path, bit for bit.
+//!
+//! The golden fixtures in `tests/fixtures/soa_golden.txt` were captured
+//! from the tree *before* the struct-of-arrays arena restructure and the
+//! batched calendar-queue draining landed. Every digest is an FNV-1a
+//! hash over a canonical little-endian byte encoding of a complete
+//! [`RunMetrics`] — every field of every [`JobOutcome`], the policy
+//! string, and the scalar work counters — so a single bit of drift in
+//! any output anywhere in the run fails the battery.
+//!
+//! Regenerate (only when an *intentional* output change is being made,
+//! which per the determinism contract should never happen on a perf
+//! refactor) with:
+//!
+//! ```text
+//! SOA_GOLDEN_REGEN=1 cargo test -p green-batchsim --test soa_equivalence
+//! ```
+
+use green_accounting::MethodKind;
+use green_batchsim::{
+    intensity_for, run_cell, run_cell_in, JobOutcome, MarketInputs, PlacementTable, Policy,
+    RunMetrics, SimArena, SimConfig,
+};
+use green_carbon::HourlyTrace;
+use green_machines::{simulation_fleet, FleetMachine};
+use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
+use green_units::TimeSpan;
+use green_workload::{Trace, TraceConfig};
+
+const FIXTURES: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/soa_golden.txt");
+
+/// Workload shapes mirroring the sweep engine's `tiny`, `quick` and
+/// `paper` presets. The trace seed is fixed per preset (exactly as a
+/// sweep shares one trace across replicates); the 8 golden seeds drive
+/// the per-replicate carbon-intensity realization.
+fn preset(name: &str) -> TraceConfig {
+    match name {
+        "tiny" => TraceConfig::small(23),
+        "quick" => TraceConfig {
+            users: 60,
+            unique_jobs: 6_000,
+            duration: TimeSpan::from_days(14.0),
+            max_runtime: TimeSpan::from_hours(48.0),
+            seed: 23,
+        },
+        "paper" => TraceConfig::paper_scale(23),
+        other => panic!("unknown preset `{other}`"),
+    }
+}
+
+/// Per-seed policy/method pairs: one of each policy family, so batched
+/// draining is exercised under pure FCFS pops, shift re-pushes into the
+/// active drain window (GreedyShift/Adaptive), and market quoting.
+fn config_for(seed: u64, users: u32, fleet_len: usize) -> SimConfig {
+    let (policy, method) = match seed % 8 {
+        0 => (Policy::Greedy, MethodKind::eba()),
+        1 => (Policy::Energy, MethodKind::Cba),
+        2 => (Policy::Eft, MethodKind::Runtime),
+        3 => (Policy::Mixed, MethodKind::Energy),
+        4 => (Policy::Runtime, MethodKind::Peak),
+        5 => (Policy::Fixed(2), MethodKind::eba()),
+        6 => (
+            Policy::GreedyShift {
+                max_delay_hours: 24,
+            },
+            MethodKind::Cba,
+        ),
+        _ => (Policy::Adaptive, MethodKind::eba()),
+    };
+    let config = SimConfig::new(policy, method, users);
+    if matches!(policy, Policy::Adaptive) {
+        config.with_market(MarketInputs::identity(fleet_len))
+    } else {
+        config
+    }
+}
+
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        // Bit pattern, not value: -0.0 vs 0.0 or a NaN payload change
+        // is output drift and must fail the battery.
+        self.update(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// The canonical digest of a complete run: every output byte the
+/// simulator produces, in a fixed field order.
+fn digest(metrics: &RunMetrics) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(metrics.policy.as_bytes());
+    h.update(&[0xff]);
+    h.u64(metrics.rejected as u64);
+    h.u64(metrics.events as u64);
+    h.u64(metrics.release_work);
+    h.u64(metrics.outcomes.len() as u64);
+    for o in &metrics.outcomes {
+        let JobOutcome {
+            job,
+            user,
+            machine,
+            cores,
+            arrival_s,
+            start_s,
+            end_s,
+            energy_kwh,
+            charges,
+            op_carbon_g,
+            attributed_g,
+            work_core_hours,
+        } = *o;
+        h.u32(job);
+        h.u32(user);
+        h.u32(machine);
+        h.u32(cores);
+        h.f64(arrival_s);
+        h.f64(start_s);
+        h.f64(end_s);
+        h.f64(energy_kwh);
+        for c in charges {
+            h.f64(c);
+        }
+        h.f64(op_carbon_g);
+        h.f64(attributed_g);
+        h.f64(work_core_hours);
+    }
+    h.0
+}
+
+struct World {
+    fleet: Vec<FleetMachine>,
+    trace: Trace,
+    table: PlacementTable,
+}
+
+fn world(preset_name: &str) -> World {
+    let fleet = simulation_fleet();
+    let behaviors: Vec<MachineBehavior> = fleet
+        .iter()
+        .map(|m| MachineBehavior::for_spec(&m.spec))
+        .collect();
+    let predictor = CrossMachinePredictor::train(behaviors, 2, 23);
+    let trace = Trace::generate(&preset(preset_name), &predictor);
+    let table = PlacementTable::build(&trace, &fleet, &predictor);
+    World {
+        fleet,
+        trace,
+        table,
+    }
+}
+
+/// A `(seed, policy, digest)` golden row.
+type GoldenRow = (u64, String, u64);
+
+/// Runs all 8 golden seeds of one preset through a single reused arena
+/// (the sweep-worker shape — recycling is part of what the goldens pin)
+/// and returns `(seed, policy, digest)` rows.
+fn run_preset(preset_name: &str) -> Vec<GoldenRow> {
+    let world = world(preset_name);
+    let mut arena = SimArena::new();
+    let mut rows = Vec::new();
+    for seed in 1..=8u64 {
+        let intensity: Vec<HourlyTrace> = intensity_for(&world.fleet, seed);
+        let config = config_for(seed, preset(preset_name).users, world.fleet.len());
+        let metrics = run_cell_in(
+            &world.trace,
+            &world.fleet,
+            &world.table,
+            &intensity,
+            config,
+            &mut arena,
+        );
+        rows.push((seed, metrics.policy.clone(), digest(&metrics)));
+        arena.recycle(metrics);
+    }
+    rows
+}
+
+fn golden_lines(rows: &[(String, Vec<GoldenRow>)]) -> String {
+    let mut out = String::new();
+    for (preset_name, preset_rows) in rows {
+        for (seed, policy, digest) in preset_rows {
+            out.push_str(&format!("{preset_name} {seed} {policy} {digest:016x}\n"));
+        }
+    }
+    out
+}
+
+fn check_preset(preset_name: &str) {
+    let rows = vec![(preset_name.to_string(), run_preset(preset_name))];
+    let current = golden_lines(&rows);
+    if std::env::var_os("SOA_GOLDEN_REGEN").is_some() {
+        regen(preset_name, &current);
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURES)
+        .expect("tests/fixtures/soa_golden.txt missing — run with SOA_GOLDEN_REGEN=1");
+    let expected: String = golden
+        .lines()
+        .filter(|l| l.starts_with(&format!("{preset_name} ")))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(
+        !expected.is_empty(),
+        "no golden rows for preset `{preset_name}` in {FIXTURES}"
+    );
+    assert_eq!(
+        current, expected,
+        "preset `{preset_name}` diverged from the pre-change golden digests — \
+         the refactor moved output bytes"
+    );
+}
+
+/// Rewrites this preset's block of the fixture file, preserving the
+/// other presets' rows (each `#[test]` regenerates only its own block,
+/// so one regen run over the whole battery rebuilds the whole file).
+fn regen(preset_name: &str, block: &str) {
+    let existing = std::fs::read_to_string(FIXTURES).unwrap_or_default();
+    let mut kept: String = existing
+        .lines()
+        .filter(|l| !l.starts_with(&format!("{preset_name} ")) && !l.trim().is_empty())
+        .map(|l| format!("{l}\n"))
+        .collect();
+    kept.push_str(block);
+    let mut lines: Vec<&str> = kept.lines().collect();
+    lines.sort();
+    let text: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    std::fs::create_dir_all(std::path::Path::new(FIXTURES).parent().unwrap()).unwrap();
+    std::fs::write(FIXTURES, text).unwrap();
+    eprintln!("soa_equivalence: regenerated `{preset_name}` golden digests");
+}
+
+#[test]
+fn tiny_preset_matches_prechange_goldens() {
+    check_preset("tiny");
+}
+
+#[test]
+fn quick_preset_matches_prechange_goldens() {
+    check_preset("quick");
+}
+
+#[test]
+fn paper_preset_matches_prechange_goldens() {
+    check_preset("paper");
+}
+
+/// The arena path and the fresh-allocation path must agree bit for bit
+/// — recycling may never leak state into the next cell's output.
+#[test]
+fn arena_runs_match_fresh_runs() {
+    let world = world("tiny");
+    let mut arena = SimArena::new();
+    for seed in [1u64, 6, 7] {
+        let intensity: Vec<HourlyTrace> = intensity_for(&world.fleet, seed);
+        let config = config_for(seed, preset("tiny").users, world.fleet.len());
+        let in_arena = run_cell_in(
+            &world.trace,
+            &world.fleet,
+            &world.table,
+            &intensity,
+            config.clone(),
+            &mut arena,
+        );
+        let fresh = run_cell(&world.trace, &world.fleet, &world.table, &intensity, config);
+        assert_eq!(digest(&in_arena), digest(&fresh), "seed {seed}");
+        assert_eq!(in_arena, fresh, "seed {seed}");
+        arena.recycle(in_arena);
+    }
+}

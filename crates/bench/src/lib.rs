@@ -13,4 +13,4 @@ pub mod perf;
 pub mod render;
 
 pub use experiments::simulation::{SimArtifacts, SimScale};
-pub use perf::{peak_rss_mb, Comparison, PerfBench, PerfReport};
+pub use perf::{peak_rss_mb, reset_peak_rss, Comparison, PerfBench, PerfReport};

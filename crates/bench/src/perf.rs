@@ -69,6 +69,30 @@ pub fn peak_rss_mb() -> Option<f64> {
     }
 }
 
+/// Resets the process's RSS high-water mark (`VmHWM`) so the next
+/// [`peak_rss_mb`] read approximates the peak of the work that follows
+/// rather than the process lifetime's. Linux only (`echo 5 >
+/// /proc/self/clear_refs`); returns whether the kernel accepted the
+/// reset, `false` elsewhere or without permission — callers treat the
+/// whole mechanism as best-effort.
+///
+/// Benches that run back to back in one process **must** call this
+/// before starting their measured section, not rely on an earlier
+/// bench having done so: a multi-threaded bench's worker pool keeps
+/// touching pages until its scope joins, so a reset issued before the
+/// *previous* bench still carries that bench's high-water mark into
+/// this one's reading.
+pub fn reset_peak_rss() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::write("/proc/self/clear_refs", "5").is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
 /// A full perf-suite report.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PerfReport {
@@ -482,6 +506,36 @@ mod tests {
             // bound) less than a terabyte.
             assert!(rss > 1.0 && rss < 1e6, "implausible peak RSS {rss}");
         }
+    }
+
+    #[test]
+    fn reset_peak_rss_drops_the_high_water_mark() {
+        // Non-Linux (or a kernel refusing clear_refs) makes the whole
+        // mechanism a documented no-op — nothing to regress.
+        if peak_rss_mb().is_none() {
+            return;
+        }
+        // Inflate the high-water mark well above steady state with a
+        // touched (page-resident) buffer, then free it.
+        let mut buffer = vec![0u8; 192 << 20];
+        for i in (0..buffer.len()).step_by(4096) {
+            buffer[i] = 1;
+        }
+        std::hint::black_box(&buffer);
+        drop(buffer);
+        let inflated = peak_rss_mb().expect("linux path");
+        assert!(inflated > 150.0, "buffer never became resident");
+        if !reset_peak_rss() {
+            return; // best-effort: no permission to clear_refs here
+        }
+        let after = peak_rss_mb().expect("linux path");
+        assert!(
+            after < inflated - 100.0,
+            "reset must drop the high-water mark below the freed \
+             buffer's peak (before {inflated:.0} MB, after {after:.0} MB) — \
+             a bench measured after this reset would inherit its \
+             predecessor's allocations"
+        );
     }
 
     #[test]

@@ -81,11 +81,15 @@ pub enum Failpoint {
     MergeWrite = 5,
     /// The report written by `scenarios analyze --out`.
     AnalyzeWrite = 6,
+    /// One aggregate row committed (in expansion order) by the sweep
+    /// runner's reorder buffer — the point where parallel workers'
+    /// results become durable output.
+    ParallelCommit = 7,
 }
 
 impl Failpoint {
     /// Every failpoint, in discriminant order.
-    pub const ALL: [Failpoint; 7] = [
+    pub const ALL: [Failpoint; 8] = [
         Failpoint::ManifestRewrite,
         Failpoint::FragmentRow,
         Failpoint::ProgressRewrite,
@@ -93,6 +97,7 @@ impl Failpoint {
         Failpoint::OrchestrateAppend,
         Failpoint::MergeWrite,
         Failpoint::AnalyzeWrite,
+        Failpoint::ParallelCommit,
     ];
 
     /// The failpoint's stable wire name (spec grammar, error text,
@@ -106,6 +111,7 @@ impl Failpoint {
             Failpoint::OrchestrateAppend => "orchestrate_append",
             Failpoint::MergeWrite => "merge_write",
             Failpoint::AnalyzeWrite => "analyze_write",
+            Failpoint::ParallelCommit => "parallel_commit",
         }
     }
 

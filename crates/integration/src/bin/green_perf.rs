@@ -4,7 +4,7 @@
 //! ```text
 //! green-perf [--out <report.json>] [--check <baseline.json>]
 //!            [--tolerance <rel>] [--wall-tolerance <rel>]
-//!            [--summary <file.md>] [--quiet]
+//!            [--summary <file.md>] [--only <substring>] [--quiet]
 //! ```
 //!
 //! Runs four benches and emits a machine-readable JSON report
@@ -53,6 +53,15 @@
 //!   `faults_injected` counter is a hard zero gate, and the armed
 //!   variant's relative wall cost reports warn-only — the
 //!   disabled-path overhead claim of `docs/robustness.md`, measured.
+//! * `scaling_paper_t{1,4,8,16}` / `scaling_mega_t{1,4,8,16}` — the
+//!   scaling suite: the paper grid (8 heavy cells, in-memory) and a
+//!   100,000-cell mega shard (streamed, the `--threads` reorder-buffer
+//!   path) on 1/4/8/16 workers. Work counters are identical at every
+//!   thread count — that invariance *is* the parallel determinism
+//!   contract, and it hard-gates; the derived `speedup_x` and
+//!   `efficiency` rates are core-count properties of the machine, so
+//!   they report warn-only and only mean something on CI's multi-core
+//!   runners (`--only scaling_` is the scaling job's entry point).
 //!
 //! Every bench also records the process peak RSS at completion
 //! (best-effort, Linux `/proc/self/status`; the high-water mark is
@@ -82,7 +91,7 @@
 use std::time::Instant;
 
 use green_batchsim::{intensity_for, run_cell_in_obs, PlacementTable, Policy, SimArena, SimConfig};
-use green_bench::{peak_rss_mb, PerfBench, PerfReport};
+use green_bench::{peak_rss_mb, reset_peak_rss, PerfBench, PerfReport};
 use green_carbon::HourlyTrace;
 use green_chaos::ChaosRegistry;
 use green_machines::simulation_fleet;
@@ -107,7 +116,13 @@ green-perf — deterministic perf suite and bench-regression gate
 USAGE:
     green-perf [--out <report.json>] [--check <baseline.json>]
                [--tolerance <rel>] [--wall-tolerance <rel>]
-               [--summary <file.md>] [--phases] [--quiet]
+               [--summary <file.md>] [--only <substring>]
+               [--phases] [--quiet]
+
+--only <substring> runs (and gates) just the benches whose name
+contains the substring — e.g. `--only scaling_` for the scaling suite,
+`--only mega` for the survey-scale trio. Baseline benches outside the
+filter are skipped, not reported missing.
 
 --phases runs the suite with the observability recorder enabled: each
 bench additionally reports the recorder's deterministic work counters
@@ -124,14 +139,19 @@ fn fail(message: &str) -> ! {
 }
 
 /// Runs one bench with the process RSS high-water mark reset first
-/// (best-effort: `/proc/self/clear_refs` on Linux, no-op elsewhere or
+/// ([`green_bench::reset_peak_rss`]; best-effort, no-op off Linux or
 /// without permission), so each bench's `peak_rss_mb` approximates its
-/// *own* peak instead of inheriting every earlier bench's. Memory the
-/// allocator retains from earlier benches still floors the value — the
-/// number is advisory either way.
+/// *own* peak instead of inheriting every earlier bench's. The reset
+/// happens here, immediately before the bench closure — never hoisted
+/// earlier: with multi-threaded benches back to back, the previous
+/// bench's worker pool keeps touching pages until its scope joins, so
+/// an early reset would hand this bench its predecessor's high-water
+/// mark (the regression is pinned by `reset_peak_rss_drops_the_high_
+/// water_mark` in `green_bench::perf`). Memory the allocator retains
+/// from earlier benches still floors the value — the number is
+/// advisory either way.
 fn measured(bench: impl FnOnce() -> PerfBench) -> PerfBench {
-    #[cfg(target_os = "linux")]
-    let _ = std::fs::write("/proc/self/clear_refs", "5");
+    let _ = reset_peak_rss();
     bench()
 }
 
@@ -478,6 +498,125 @@ fn bench_mega_pair() -> (PerfBench, PerfBench) {
     (orchestrate, analyze)
 }
 
+/// Thread counts the scaling suite measures. 1 is the reference every
+/// speedup is computed against; 16 oversubscribes any CI runner we use,
+/// which is exactly the point — efficiency should saturate, not crash.
+const SCALING_THREADS: [usize; 4] = [1, 4, 8, 16];
+
+/// Attaches the scaling suite's derived rates to a bench: cells/s plus
+/// `speedup_x` (vs the suite's own 1-thread run) and `efficiency`
+/// (speedup / threads). All three are **rates**, which the gate ignores
+/// by design: they are properties of the machine's core count, not of
+/// the code's work, so they report warn-only wherever the report is
+/// checked — CI's multi-core runners are where the numbers mean
+/// something. The hard gate rides on the counters, which are identical
+/// for every thread count (that is the `--threads` determinism
+/// contract, enforced byte-for-byte by `parallel_golden.rs`).
+fn with_scaling_rates(mut bench: PerfBench, threads: usize, t1_ms: f64) -> PerfBench {
+    let cells = bench
+        .counters
+        .iter()
+        .find(|(k, _)| k == "cells")
+        .map_or(0.0, |(_, v)| *v);
+    let speedup = t1_ms / bench.wall_ms.max(1e-12);
+    bench.rates = vec![
+        (
+            "cells_per_s".into(),
+            cells / (bench.wall_ms / 1e3).max(1e-12),
+        ),
+        ("speedup_x".into(), speedup),
+        ("efficiency".into(), speedup / threads as f64),
+    ];
+    bench
+}
+
+/// The paper grid through the in-memory collect path on `threads`
+/// workers: 8 cells of 142,380 jobs each — few, heavy cells, the shape
+/// where one slow cell dominates and the claim window matters least.
+fn bench_scaling_paper(threads: usize) -> PerfBench {
+    let sweep = Sweep::from_toml_str(PAPER_GRID_TOML).expect("shipped sweep parses");
+    let start = Instant::now();
+    let (results, stats) =
+        SweepRunner::new(threads).run_collect_obs(&sweep, None, None, &NoopRecorder);
+    std::hint::black_box(results);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PerfBench {
+        name: format!("scaling_paper_t{threads}"),
+        wall_ms,
+        peak_rss_mb: peak_rss_mb(),
+        counters: vec![
+            ("threads".into(), threads as f64),
+            ("cells".into(), stats.cells as f64),
+            ("events".into(), stats.events as f64),
+            ("release_work".into(), stats.release_work as f64),
+            ("realizations".into(), stats.realizations as f64),
+        ],
+        phases: vec![],
+        rates: vec![],
+    }
+}
+
+/// One 100,000-cell shard of the mega grid streamed to a null sink on
+/// `threads` workers: many tiny cells through the bounded reorder
+/// buffer — the other end of the granularity spectrum, and the exact
+/// path CI's `--threads` shard matrix runs.
+fn bench_scaling_mega(threads: usize) -> PerfBench {
+    let sweep = Sweep::from_toml_str(MEGA_GRID_TOML).expect("shipped sweep parses");
+    let range = Shard { index: 0, of: 10 }.cell_range(sweep.config_count(), sweep.seeds.len());
+    let start = Instant::now();
+    let summary = SweepRunner::new(threads)
+        .run_streamed_range_obs(
+            &sweep,
+            None,
+            Some(range),
+            true,
+            None,
+            &mut std::io::sink(),
+            &NoopRecorder,
+        )
+        .expect("streaming to a sink cannot fail");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PerfBench {
+        name: format!("scaling_mega_t{threads}"),
+        wall_ms,
+        peak_rss_mb: peak_rss_mb(),
+        counters: vec![
+            ("threads".into(), threads as f64),
+            ("cells".into(), summary.cells as f64),
+            ("configs".into(), summary.configs as f64),
+            ("events".into(), summary.stats.events as f64),
+            ("release_work".into(), summary.stats.release_work as f64),
+            ("realizations".into(), summary.stats.realizations as f64),
+        ],
+        phases: vec![],
+        rates: vec![],
+    }
+}
+
+/// Runs one scaling ladder (a grid at every [`SCALING_THREADS`] count,
+/// the 1-thread run first as the speedup reference), keeping only the
+/// benches `want` selects. The benches always run with the no-op
+/// recorder, `--phases` or not: N workers' overlapping phase walls sum
+/// past the bench's own wall and drift with scheduling, and the
+/// 1-thread sweeps already gate the recorder's counters.
+fn scaling_ladder(
+    bench: impl Fn(usize) -> PerfBench,
+    want: impl Fn(&str) -> bool,
+) -> Vec<PerfBench> {
+    let mut out = Vec::new();
+    let mut t1_ms = f64::NAN;
+    for threads in SCALING_THREADS {
+        let run = measured(|| bench(threads));
+        if threads == 1 {
+            t1_ms = run.wall_ms;
+        }
+        if want(&run.name) {
+            out.push(with_scaling_rates(run, threads, t1_ms));
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -487,6 +626,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut summary: Option<String> = None;
+    let mut only: Option<String> = None;
     let mut tolerance = 0.20f64;
     let mut wall_tolerance = 1.00f64;
     let mut phases = false;
@@ -502,6 +642,7 @@ fn main() {
             "--out" => out = Some(value("--out")),
             "--check" => check = Some(value("--check")),
             "--summary" => summary = Some(value("--summary")),
+            "--only" => only = Some(value("--only")),
             "--tolerance" => {
                 tolerance = value("--tolerance")
                     .parse()
@@ -520,48 +661,91 @@ fn main() {
     if summary.is_some() && check.is_none() {
         fail("--summary renders drift against a baseline; it requires --check");
     }
+    // `--only <substring>` narrows both the run and the baseline
+    // comparison to matching bench names — what CI's scaling job uses
+    // to run `--only scaling_` without paying for the full suite.
+    let want = |name: &str| only.as_deref().is_none_or(|f| name.contains(f));
 
     // With --phases each bench gets its own recorder (so counters and
     // phase times attribute per bench); the default path hands every
     // bench the no-op recorder, whose probes compile to nothing.
-    let report = if phases {
+    let mut benches: Vec<PerfBench> = Vec::new();
+    {
+        // Only reached when `phases` is set: each recorded bench gets
+        // its own recorder so counters and phase times attribute to it.
         let rec = |bench: fn(&StatsRecorder) -> PerfBench| {
             measured(|| {
                 let recorder = StatsRecorder::new();
                 folded(bench(&recorder), &recorder)
             })
         };
+        if want("sim_year") {
+            benches.push(if phases {
+                rec(bench_sim_year)
+            } else {
+                measured(|| bench_sim_year(&NoopRecorder))
+            });
+        }
+        if want("attribution") {
+            benches.push(measured(bench_attribution));
+        }
+        if want("sweep_grid") {
+            benches.push(if phases {
+                rec(|r| bench_sweep("sweep_grid", SENSITIVITY_TOML, r))
+            } else {
+                measured(|| bench_sweep("sweep_grid", SENSITIVITY_TOML, &NoopRecorder))
+            });
+        }
+        if want("sweep_grid_paper") {
+            benches.push(if phases {
+                rec(|r| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, r))
+            } else {
+                measured(|| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, &NoopRecorder))
+            });
+        }
+        if want("sweep_grid_mega") {
+            benches.push(if phases {
+                rec(bench_sweep_mega)
+            } else {
+                measured(|| bench_sweep_mega(&NoopRecorder))
+            });
+        }
         // The orchestrator spawns its own worker threads, so a
         // per-bench recorder cannot attribute their work; the mega pair
-        // runs un-instrumented in both modes.
-        let (orchestrate_mega, analyze_mega) = bench_mega_pair();
-        PerfReport {
-            benches: vec![
-                rec(bench_sim_year),
-                measured(bench_attribution),
-                rec(|r| bench_sweep("sweep_grid", SENSITIVITY_TOML, r)),
-                rec(|r| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, r)),
-                rec(bench_sweep_mega),
-                orchestrate_mega,
-                analyze_mega,
-                measured(bench_chaos_noop),
-            ],
+        // runs un-instrumented in both modes (and shares one fragment
+        // directory, so either half selects the pair's setup).
+        if want("orchestrate_mega") || want("analyze_mega") {
+            let (orchestrate_mega, analyze_mega) = bench_mega_pair();
+            if want("orchestrate_mega") {
+                benches.push(orchestrate_mega);
+            }
+            if want("analyze_mega") {
+                benches.push(analyze_mega);
+            }
         }
-    } else {
-        let (orchestrate_mega, analyze_mega) = bench_mega_pair();
-        PerfReport {
-            benches: vec![
-                measured(|| bench_sim_year(&NoopRecorder)),
-                measured(bench_attribution),
-                measured(|| bench_sweep("sweep_grid", SENSITIVITY_TOML, &NoopRecorder)),
-                measured(|| bench_sweep("sweep_grid_paper", PAPER_GRID_TOML, &NoopRecorder)),
-                measured(|| bench_sweep_mega(&NoopRecorder)),
-                orchestrate_mega,
-                analyze_mega,
-                measured(bench_chaos_noop),
-            ],
+        if want("chaos_noop") {
+            benches.push(measured(bench_chaos_noop));
         }
-    };
+        if SCALING_THREADS
+            .iter()
+            .any(|t| want(&format!("scaling_paper_t{t}")))
+        {
+            benches.extend(scaling_ladder(bench_scaling_paper, want));
+        }
+        if SCALING_THREADS
+            .iter()
+            .any(|t| want(&format!("scaling_mega_t{t}")))
+        {
+            benches.extend(scaling_ladder(bench_scaling_mega, want));
+        }
+    }
+    if benches.is_empty() {
+        fail(&format!(
+            "--only `{}` matched no bench",
+            only.as_deref().unwrap_or_default()
+        ));
+    }
+    let report = PerfReport { benches };
     if !quiet {
         for bench in &report.benches {
             let rates: Vec<String> = bench
@@ -593,10 +777,14 @@ fn main() {
             eprintln!("error: reading baseline {path}: {e}");
             std::process::exit(1);
         });
-        let baseline = PerfReport::parse(&text).unwrap_or_else(|e| {
+        let mut baseline = PerfReport::parse(&text).unwrap_or_else(|e| {
             eprintln!("error: parsing baseline {path}: {e}");
             std::process::exit(1);
         });
+        // `--only` narrows the gate the same way it narrowed the run —
+        // a baseline bench that deliberately did not run must not
+        // register as "missing" (which would hard-fail).
+        baseline.benches.retain(|b| want(&b.name));
         let cmp = report.compare(&baseline, tolerance, wall_tolerance);
         if let Some(summary_path) = summary {
             let table = format!(

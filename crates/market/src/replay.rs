@@ -9,11 +9,13 @@
 //! and sharded stores must produce identical snapshots, which the
 //! determinism suite asserts.
 
+use std::fmt::Write as _;
+
 use green_accounting::CreditStore;
 use green_batchsim::{JobOutcome, PriceTable};
 use green_units::{Credits, TimePoint};
 
-use crate::desk::{settle, CreditBank};
+use crate::desk::{settle_with, CreditBank};
 
 /// Aggregate result of settling one run through the market.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +29,33 @@ pub struct MarketRun {
     pub banked: f64,
     /// Posted charges the users' balances could not cover.
     pub shortfall: f64,
+}
+
+/// Reusable working storage for [`settle_run_in`]: the completion-order
+/// index, the deduplicated user list, and the owner / label / operation
+/// string buffers every settlement step formats into. A sweep worker
+/// keeps one scratch for its lifetime, so after the first market cell
+/// settlement performs no heap allocation beyond the store's own ledger
+/// entries.
+#[derive(Debug, Default)]
+pub struct SettleScratch {
+    /// Outcome indices sorted into completion order.
+    order: Vec<u32>,
+    /// Distinct user ids, sorted.
+    users: Vec<u32>,
+    /// `u{user}` account-name buffer.
+    owner: String,
+    /// `job-{job}` label buffer.
+    label: String,
+    /// `hold/release/settle {label}` operation-name buffer.
+    op: String,
+}
+
+impl SettleScratch {
+    /// An empty scratch; buffers grow to the first run's sizes and stay.
+    pub fn new() -> SettleScratch {
+        SettleScratch::default()
+    }
 }
 
 /// Settles every outcome of a run through `store` at posted prices.
@@ -46,8 +75,37 @@ pub fn settle_run(
     bank: &mut CreditBank,
     budget_factor: f64,
 ) -> MarketRun {
-    let mut order: Vec<&JobOutcome> = outcomes.iter().collect();
-    order.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.job.cmp(&b.job)));
+    settle_run_in(
+        outcomes,
+        method_index,
+        prices,
+        store,
+        bank,
+        budget_factor,
+        &mut SettleScratch::new(),
+    )
+}
+
+/// [`settle_run`] against caller-owned scratch storage — the hot-path
+/// variant sweep workers call per market cell. Identical operation
+/// stream and result: the scratch only replaces the temporary vectors
+/// and per-outcome `format!` strings with reused buffers.
+pub fn settle_run_in(
+    outcomes: &[JobOutcome],
+    method_index: usize,
+    prices: &PriceTable,
+    store: &dyn CreditStore,
+    bank: &mut CreditBank,
+    budget_factor: f64,
+    scratch: &mut SettleScratch,
+) -> MarketRun {
+    debug_assert!(outcomes.len() < u32::MAX as usize);
+    scratch.order.clear();
+    scratch.order.extend(0..outcomes.len() as u32);
+    scratch.order.sort_by(|&a, &b| {
+        let (a, b) = (&outcomes[a as usize], &outcomes[b as usize]);
+        a.end_s.total_cmp(&b.end_s).then(a.job.cmp(&b.job))
+    });
 
     let posted = |o: &JobOutcome, at_s: f64| -> f64 {
         o.charges[method_index]
@@ -55,10 +113,11 @@ pub fn settle_run(
     };
 
     // Equal per-user budgets from total posted demand at start prices.
-    let mut users: Vec<u32> = order.iter().map(|o| o.user).collect();
-    users.sort_unstable();
-    users.dedup();
-    if users.is_empty() {
+    scratch.users.clear();
+    scratch.users.extend(outcomes.iter().map(|o| o.user));
+    scratch.users.sort_unstable();
+    scratch.users.dedup();
+    if scratch.users.is_empty() {
         return MarketRun {
             posted_spent: 0.0,
             raw_spent: 0.0,
@@ -66,16 +125,28 @@ pub fn settle_run(
             shortfall: 0.0,
         };
     }
-    let total_posted: f64 = order.iter().map(|o| posted(o, o.start_s)).sum();
-    let budget = Credits::new(budget_factor * total_posted / users.len() as f64);
-    for user in &users {
-        store.grant(&format!("u{user}"), budget);
+    // Summed in completion order: the fold order (and therefore the
+    // rounding) must match the settlement loop's view of the run.
+    let total_posted: f64 = scratch
+        .order
+        .iter()
+        .map(|&i| {
+            let o = &outcomes[i as usize];
+            posted(o, o.start_s)
+        })
+        .sum();
+    let budget = Credits::new(budget_factor * total_posted / scratch.users.len() as f64);
+    for &user in &scratch.users {
+        scratch.owner.clear();
+        let _ = write!(scratch.owner, "u{user}");
+        store.grant(&scratch.owner, budget);
     }
 
     let mut raw_spent = 0.0;
     let mut shortfall = 0.0;
     let mut day = 0u64;
-    for o in order {
+    for &i in &scratch.order {
+        let o = &outcomes[i as usize];
         // Close banking periods up to this completion's day.
         let completed_day = (o.end_s / 86_400.0).floor().max(0.0) as u64;
         while day < completed_day {
@@ -83,8 +154,10 @@ pub fn settle_run(
             day += 1;
         }
 
-        let owner = format!("u{}", o.user);
-        let label = format!("job-{}", o.job);
+        scratch.owner.clear();
+        let _ = write!(scratch.owner, "u{}", o.user);
+        scratch.label.clear();
+        let _ = write!(scratch.label, "job-{}", o.job);
         let raw = o.charges[method_index];
         let hold = Credits::new(posted(o, o.arrival_s));
         let actual = Credits::new(posted(o, o.start_s));
@@ -93,10 +166,20 @@ pub fn settle_run(
         // Admission: hold what the arrival-hour quote says, capped by the
         // balance (the simulator already admitted the job; the market
         // collects, it does not un-run work).
+        scratch.op.clear();
+        let _ = write!(scratch.op, "hold {}", scratch.label);
         let held = store
-            .debit_up_to(&owner, hold, at, &format!("hold {label}"))
+            .debit_up_to(&scratch.owner, hold, at, &scratch.op)
             .unwrap_or(Credits::ZERO);
-        let (_, short) = settle(store, &owner, held, actual, at, &label);
+        let (_, short) = settle_with(
+            store,
+            &scratch.owner,
+            held,
+            actual,
+            at,
+            &scratch.label,
+            &mut scratch.op,
+        );
         raw_spent += raw;
         shortfall += short.value();
 
@@ -106,7 +189,7 @@ pub fn settle_run(
         // insolvency, not savings.
         let saving = raw - actual.value();
         if saving > 0.0 && short.value() <= 0.0 {
-            bank.deposit(&owner, saving);
+            bank.deposit(&scratch.owner, saving);
         }
     }
     bank.end_period();

@@ -73,6 +73,7 @@ pub mod analyze;
 pub mod durable_io;
 pub mod orchestrate;
 pub mod progress;
+pub mod reorder;
 pub mod runner;
 pub mod shard;
 pub mod spec;
@@ -97,9 +98,10 @@ pub use orchestrate::{
 pub use progress::{
     progress_path, ProgressRecord, ProgressWriter, PROGRESS_HISTORY, PROGRESS_SCHEMA,
 };
+pub use reorder::{ClaimWindow, ReorderBuffer};
 pub use runner::{
-    cell_label, CellMetrics, FleetSlice, RunStats, StreamSummary, SweepCaches, SweepRunner,
-    SweepWorld,
+    cell_label, CellMetrics, CellScratch, FleetSlice, RunStats, StreamSummary, SweepCaches,
+    SweepRunner, SweepWorld,
 };
 pub use shard::{
     load_shard_set, manifest_path, merge_shards, merge_shards_chaos, read_verified, run_shard,

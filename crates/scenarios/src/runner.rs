@@ -21,7 +21,7 @@
 //! streaming sink produces the same bytes as the in-memory path, which
 //! `tests/streaming_golden.rs` asserts.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -32,15 +32,18 @@ use green_batchsim::{
     SimConfig,
 };
 use green_carbon::HourlyTrace;
+use green_chaos::{probe, torn_crash, Chaos, Failpoint, NoopChaos};
 use green_machines::{simulation_fleet, FleetMachine};
 use green_market::{
-    market_population, price_table, settle_run, CreditBank, PriceSpec, ShardedLedger,
+    market_population, price_table, settle_run_in, CreditBank, PriceSpec, SettleScratch,
+    ShardedLedger,
 };
 use green_obs::{Counter, NoopRecorder, Phase, Recorder, SpanKind, Stopwatch};
 use green_perfmodel::{CrossMachinePredictor, MachineBehavior};
 use green_workload::Trace;
 
 use crate::agg::{CellSummary, SweepResults, CSV_HEADERS};
+use crate::reorder::{ClaimWindow, ReorderBuffer};
 use crate::spec::ScenarioSpec;
 use crate::sweep::{Cell, Sweep};
 
@@ -235,19 +238,20 @@ impl SweepWorld {
     /// simulation state — the one-shot form of
     /// [`run_cell_in`](SweepWorld::run_cell_in).
     pub fn run_cell(&self, spec: &ScenarioSpec, caches: &SweepCaches) -> CellMetrics {
-        self.run_cell_in(spec, caches, &mut SimArena::new())
+        self.run_cell_in(spec, caches, &mut CellScratch::new())
     }
 
     /// Runs one cell against the shared state and caches, borrowing all
-    /// simulation buffers from `arena` — sweep workers hold one arena
-    /// each, so steady-state cell execution allocates (almost) nothing.
+    /// simulation and settlement buffers from `scratch` — sweep workers
+    /// hold one scratch each, so steady-state cell execution (market
+    /// cells included) allocates (almost) nothing.
     pub fn run_cell_in(
         &self,
         spec: &ScenarioSpec,
         caches: &SweepCaches,
-        arena: &mut SimArena,
+        scratch: &mut CellScratch,
     ) -> CellMetrics {
-        self.run_cell_in_obs(spec, caches, arena, &NoopRecorder)
+        self.run_cell_in_obs(spec, caches, scratch, &NoopRecorder)
     }
 
     /// [`run_cell_in`](SweepWorld::run_cell_in) with an observability
@@ -261,7 +265,7 @@ impl SweepWorld {
         &self,
         spec: &ScenarioSpec,
         caches: &SweepCaches,
-        arena: &mut SimArena,
+        scratch: &mut CellScratch,
         obs: &R,
     ) -> CellMetrics {
         let population = self.population_for(spec.users);
@@ -303,7 +307,7 @@ impl SweepWorld {
             &slice.table,
             &intensity,
             config,
-            arena,
+            &mut scratch.arena,
             obs,
         );
         let capacity: f64 = slice
@@ -323,14 +327,15 @@ impl SweepWorld {
             // the hot path, per cell, with banking of off-peak savings.
             let settle_watch = Stopwatch::<R>::start();
             let store = ShardedLedger::new(8);
-            let mut bank = CreditBank::new(spec.banking_cap, BANK_DECAY);
-            let run = settle_run(
+            scratch.bank.reset(spec.banking_cap, BANK_DECAY);
+            let run = settle_run_in(
                 &metrics.outcomes,
                 spec.method.cost_index(),
                 prices,
                 &store,
-                &mut bank,
+                &mut scratch.bank,
                 BUDGET_FACTOR,
+                &mut scratch.settle,
             );
             cell.posted_credits = run.posted_spent;
             cell.banked_credits = run.banked;
@@ -350,8 +355,40 @@ impl SweepWorld {
             obs.add(Counter::CacheHits, hits);
         }
         // Hand the outcome storage back so the next cell reuses it.
-        arena.recycle(metrics);
+        scratch.arena.recycle(metrics);
         cell
+    }
+}
+
+/// Per-worker reusable cell-execution state: the simulator arena plus
+/// market settlement scratch (credit bank and the settlement loop's
+/// index/string buffers). One lives on each sweep worker's stack for
+/// the worker's lifetime, so after its first cell a worker's
+/// steady-state allocation traffic is essentially zero — market cells
+/// included (only the per-cell ledger itself still allocates).
+pub struct CellScratch {
+    /// The simulator's growable buffers.
+    pub arena: SimArena,
+    /// Settlement-loop index and string buffers.
+    settle: SettleScratch,
+    /// The banking state, `reset` per market cell.
+    bank: CreditBank,
+}
+
+impl CellScratch {
+    /// An empty scratch; buffers grow to the first cell's sizes and stay.
+    pub fn new() -> CellScratch {
+        CellScratch {
+            arena: SimArena::new(),
+            settle: SettleScratch::new(),
+            bank: CreditBank::new(0.0, 0.0),
+        }
+    }
+}
+
+impl Default for CellScratch {
+    fn default() -> Self {
+        CellScratch::new()
     }
 }
 
@@ -744,6 +781,7 @@ impl SweepRunner {
             &world,
             &caches,
             &cells,
+            self.claim_window(sweep.seeds.len()),
             progress,
             &|index, metrics| {
                 events.fetch_add(metrics.events as u64, Ordering::Relaxed);
@@ -865,7 +903,7 @@ impl SweepRunner {
                 }
             }
         };
-        self.run_streamed_cells(sweep, cells, write_header, progress, out, obs)
+        self.run_streamed_cells(sweep, cells, write_header, progress, out, obs, &NoopChaos)
     }
 
     /// The streaming engine over an already-resolved cell list —
@@ -873,7 +911,8 @@ impl SweepRunner {
     /// expansion/filtering/slicing. Crate-internal so `shard::run_shard`
     /// can resolve its filtered assignment exactly once instead of
     /// re-expanding the grid per invocation.
-    pub(crate) fn run_streamed_cells<W: Write + Send, R: Recorder>(
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_streamed_cells<W: Write + Send, R: Recorder, C: Chaos>(
         &self,
         sweep: &Sweep,
         cells: Vec<Cell>,
@@ -881,6 +920,7 @@ impl SweepRunner {
         progress: Option<&ProgressFn>,
         out: &mut W,
         obs: &R,
+        chaos: &C,
     ) -> std::io::Result<StreamSummary> {
         sweep.validate().expect("invalid sweep");
         let replicates = sweep.seeds.len().max(1);
@@ -907,17 +947,17 @@ impl SweepRunner {
             replicates,
             cells: &cells,
             pending: HashMap::new(),
-            parked: BTreeMap::new(),
-            next_flush: 0,
+            reorder: ReorderBuffer::new(),
             out,
             error: None,
-            flushed: 0,
             obs,
+            chaos,
         });
         self.execute(
             &world,
             &caches,
             &cells,
+            self.claim_window(replicates),
             progress,
             &|index, metrics| {
                 events.fetch_add(metrics.events as u64, Ordering::Relaxed);
@@ -931,7 +971,8 @@ impl SweepRunner {
             return Err(e);
         }
         debug_assert!(sink.pending.is_empty(), "incomplete configuration groups");
-        let configs = sink.flushed;
+        debug_assert!(sink.reorder.is_empty(), "rows parked past the end");
+        let configs = sink.reorder.committed();
         let stats = self.stats_of(&caches, n, events.into_inner(), release_work.into_inner());
         Ok(StreamSummary {
             configs,
@@ -982,14 +1023,27 @@ impl SweepRunner {
         }
     }
 
+    /// How far past the contiguously-offered prefix workers may claim:
+    /// enough slack that nobody idles behind a slow cell (a few cells
+    /// per worker, whole replicate groups at a time), small enough that
+    /// the reorder buffer's memory stays a constant factor of the
+    /// worker count rather than growing with the grid.
+    fn claim_window(&self, replicates: usize) -> usize {
+        (self.threads * 4 * replicates.max(1)).max(64)
+    }
+
     /// Executes every cell, fanning out across workers; results are
     /// reported to `sink` keyed by expansion index (any thread, any
-    /// order). Each cell records one `cell` span on the recorder.
+    /// order, but never more than `window` indices past the oldest
+    /// unreported one). Each cell records one `cell` span on the
+    /// recorder.
+    #[allow(clippy::too_many_arguments)]
     fn execute<R: Recorder>(
         &self,
         world: &SweepWorld,
         caches: &SweepCaches,
         cells: &[Cell],
+        window: usize,
         progress: Option<&ProgressFn>,
         sink: &(dyn Fn(usize, CellMetrics) + Sync),
         obs: &R,
@@ -997,10 +1051,10 @@ impl SweepRunner {
         let n = cells.len();
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
-            let mut arena = SimArena::new();
+            let mut scratch = CellScratch::new();
             for (i, c) in cells.iter().enumerate() {
                 let cell_watch = Stopwatch::<R>::start();
-                let metrics = world.run_cell_in_obs(&c.spec, caches, &mut arena, obs);
+                let metrics = world.run_cell_in_obs(&c.spec, caches, &mut scratch, obs);
                 if R::ENABLED {
                     obs.span_ns(SpanKind::Cell, cell_watch.elapsed_ns());
                 }
@@ -1013,24 +1067,35 @@ impl SweepRunner {
         }
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
+        let claims = ClaimWindow::new(window);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    // One arena per worker: every cell this thread claims
-                    // reuses the same simulation buffers.
-                    let mut arena = SimArena::new();
+                    // One scratch per worker: every cell this thread
+                    // claims reuses the same simulation and settlement
+                    // buffers.
+                    let mut scratch = CellScratch::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        // Throttle: stay within the reorder window of
+                        // the slowest outstanding cell.
+                        claims.admit(i);
+                        // Mark `i` offered even if the sink dies (an
+                        // injected crash mid-commit): the claimants
+                        // blocked behind it must run into the failure,
+                        // not wait on it forever.
+                        let offered = claims.completing(i);
                         let cell_watch = Stopwatch::<R>::start();
                         let metrics =
-                            world.run_cell_in_obs(&cells[i].spec, caches, &mut arena, obs);
+                            world.run_cell_in_obs(&cells[i].spec, caches, &mut scratch, obs);
                         if R::ENABLED {
                             obs.span_ns(SpanKind::Cell, cell_watch.elapsed_ns());
                         }
                         sink(i, metrics);
+                        drop(offered);
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         if let Some(cb) = progress {
                             cb(finished, n);
@@ -1044,24 +1109,29 @@ impl SweepRunner {
 
 /// The streaming aggregation sink: collects a configuration's replicates
 /// as workers finish them (any order), aggregates each completed group,
-/// and flushes CSV rows strictly in expansion order. Memory held is the
-/// in-flight groups plus any completed-but-out-of-order summaries — not
-/// the whole grid.
-struct StreamSink<'a, W: Write, R: Recorder> {
+/// and commits CSV rows strictly in expansion order through a
+/// [`ReorderBuffer`]. Memory held is the in-flight groups plus any
+/// completed-but-out-of-order summaries — bounded by the runner's
+/// [`ClaimWindow`], not the grid.
+///
+/// The row commit is the `parallel_commit` failpoint: it runs under the
+/// sink lock and rows commit in strict config order, so `hit:N` targets
+/// the Nth row of the output deterministically — on one worker or
+/// sixteen.
+struct StreamSink<'a, W: Write, R: Recorder, C: Chaos> {
     replicates: usize,
     cells: &'a [Cell],
     /// Partially-filled configuration groups, keyed by config index.
     pending: HashMap<usize, Vec<Option<CellMetrics>>>,
-    /// Aggregated groups waiting for their turn to flush in order.
-    parked: BTreeMap<usize, CellSummary>,
-    next_flush: usize,
+    /// Aggregated groups committing in config order.
+    reorder: ReorderBuffer<CellSummary>,
     out: &'a mut W,
     error: Option<std::io::Error>,
-    flushed: usize,
     obs: &'a R,
+    chaos: &'a C,
 }
 
-impl<W: Write, R: Recorder> StreamSink<'_, W, R> {
+impl<W: Write, R: Recorder, C: Chaos> StreamSink<'_, W, R, C> {
     fn offer(&mut self, index: usize, metrics: CellMetrics) {
         let config = index / self.replicates;
         let group = self
@@ -1075,20 +1145,40 @@ impl<W: Write, R: Recorder> StreamSink<'_, W, R> {
         let group = self.pending.remove(&config).expect("group exists");
         let chunk: Vec<CellMetrics> = group.into_iter().map(|m| m.expect("full group")).collect();
         let spec = &self.cells[config * self.replicates].spec;
-        self.parked.insert(config, CellSummary::of(spec, &chunk));
+        let summary = CellSummary::of(spec, &chunk);
         let csv_watch = Stopwatch::<R>::start();
         let mut rows = 0u64;
-        while let Some(summary) = self.parked.remove(&self.next_flush) {
-            if self.error.is_none() {
-                let row = green_bench::export::csv_line(&summary.csv_row());
-                if let Err(e) = self.out.write_all(row.as_bytes()) {
-                    self.error = Some(e);
-                }
-            }
-            self.next_flush += 1;
-            self.flushed += 1;
+        let Self {
+            reorder,
+            out,
+            error,
+            chaos,
+            ..
+        } = self;
+        reorder.offer(config, summary, |_, summary| {
             rows += 1;
-        }
+            if error.is_some() {
+                return;
+            }
+            let row = green_bench::export::csv_line(&summary.csv_row());
+            match probe(*chaos, Failpoint::ParallelCommit) {
+                Ok(None) => {
+                    if let Err(e) = out.write_all(row.as_bytes()) {
+                        *error = Some(e);
+                    }
+                }
+                Ok(Some(bytes)) => {
+                    // Torn commit: the row's prefix reaches the writer
+                    // (and through it the fragment on disk), then the
+                    // worker dies — the resume path must truncate it.
+                    let bytes = bytes.min(row.len());
+                    let _ = out.write_all(&row.as_bytes()[..bytes]);
+                    let _ = out.flush();
+                    torn_crash(Failpoint::ParallelCommit, bytes);
+                }
+                Err(e) => *error = Some(e),
+            }
+        });
         if R::ENABLED && rows > 0 {
             self.obs.phase_ns(Phase::Csv, csv_watch.elapsed_ns());
             self.obs.add(Counter::RowsFlushed, rows);

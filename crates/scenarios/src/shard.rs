@@ -514,9 +514,15 @@ impl<R: Recorder, C: Chaos> Write for ShardWriter<'_, R, C> {
         self.file.write_all(buf)?;
         self.hash.update(buf);
         self.manifest.bytes += buf.len() as u64;
-        self.manifest.rows += 1;
-        self.since_checkpoint += 1;
-        if self.since_checkpoint >= self.checkpoint_every.max(1) {
+        // Rows complete at their newline, not per write call: a torn
+        // upstream commit (`parallel_commit`) hands this writer a
+        // rowless prefix, which must never advance the checkpoint —
+        // the manifest on disk stays at the last full row and resume
+        // truncates the tail.
+        let rows = buf.iter().filter(|&&b| b == b'\n').count();
+        self.manifest.rows += rows;
+        self.since_checkpoint += rows;
+        if rows > 0 && self.since_checkpoint >= self.checkpoint_every.max(1) {
             self.checkpoint()?;
         }
         Ok(buf.len())
@@ -797,7 +803,8 @@ fn run_shard_inner<R: Recorder, C: Chaos>(
         Some(filtered) => filtered[start..range.end].to_vec(),
         None => job.sweep.expand_range(start..range.end),
     };
-    let summary = runner.run_streamed_cells(job.sweep, cells, false, progress, &mut writer, obs)?;
+    let summary =
+        runner.run_streamed_cells(job.sweep, cells, false, progress, &mut writer, obs, chaos)?;
     debug_assert_eq!(resumed_rows + summary.configs, writer.manifest.rows);
     if writer.manifest.rows != expected_rows {
         return Err(invalid(format!(

@@ -113,15 +113,22 @@ fn golden() -> Golden {
     }
 }
 
-/// Runs the fragment under `spec`, asserting the fault actually fired
-/// (panic, or an error prefixed `chaos:` — injected faults must never
-/// be mistaken for real ones). Returns the fragment path.
-fn crash_fragment(sweep: &Sweep, scratch: &Scratch, spec: &str, columnar: bool) -> PathBuf {
+/// Runs the fragment under `spec` on `threads` workers, asserting the
+/// fault actually fired (panic, or an error prefixed `chaos:` —
+/// injected faults must never be mistaken for real ones). Returns the
+/// fragment path.
+fn crash_fragment(
+    sweep: &Sweep,
+    scratch: &Scratch,
+    spec: &str,
+    columnar: bool,
+    threads: usize,
+) -> PathBuf {
     let csv = scratch.path("frag0.csv");
     let registry = ChaosRegistry::from_spec(spec).expect("spec compiles");
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         run_shard_chaos(
-            &SweepRunner::new(1),
+            &SweepRunner::new(threads),
             &job(sweep, &csv, false, columnar),
             None,
             &NoopRecorder,
@@ -173,7 +180,22 @@ fn assert_resume_reproduces(sweep: &Sweep, csv: &Path, columnar: bool, golden: &
 fn shard_crash_recovers(golden: &Golden, spec: &str) {
     let sweep = grid();
     let scratch = Scratch::new(&spec.replace(['=', '@', ':'], "-"));
-    let csv = crash_fragment(&sweep, &scratch, spec, false);
+    let csv = crash_fragment(&sweep, &scratch, spec, false, 1);
+    assert_merge_refuses_naming(&csv, &scratch.path("merged.csv"));
+    assert_resume_reproduces(&sweep, &csv, false, golden);
+}
+
+/// Crash at the parallel writer's in-order row commit, mid-fragment,
+/// with two workers racing: the torn row's prefix lands past the last
+/// checkpoint, merge refuses, and a *serial* resume reproduces the
+/// golden bytes — the two execution shapes are interchangeable on disk.
+fn parallel_commit_crash_recovers(golden: &Golden) {
+    let sweep = grid();
+    let scratch = Scratch::new("parallel-commit");
+    // hit 2 = the second committed row: rows commit in config order
+    // under the sink lock, so the target is deterministic regardless of
+    // which worker gets there.
+    let csv = crash_fragment(&sweep, &scratch, "parallel_commit=torn:13@hit:2", false, 2);
     assert_merge_refuses_naming(&csv, &scratch.path("merged.csv"));
     assert_resume_reproduces(&sweep, &csv, false, golden);
 }
@@ -184,7 +206,7 @@ fn shard_crash_recovers(golden: &Golden, spec: &str) {
 fn columnar_crash_recovers(golden: &Golden) {
     let sweep = grid();
     let scratch = Scratch::new("cols");
-    let csv = crash_fragment(&sweep, &scratch, "columnar_sidecar=torn:16@hit:1", true);
+    let csv = crash_fragment(&sweep, &scratch, "columnar_sidecar=torn:16@hit:1", true, 1);
     assert!(
         !cols_path(&csv).exists(),
         "a torn sidecar must never appear under its real name"
@@ -311,6 +333,7 @@ fn every_failpoint_crashes_and_recovers_to_golden_bytes() {
             Failpoint::OrchestrateAppend => orchestrate_append_crash_recovers(),
             Failpoint::MergeWrite => merge_crash_recovers(&golden),
             Failpoint::AnalyzeWrite => analyze_crash_recovers(&golden),
+            Failpoint::ParallelCommit => parallel_commit_crash_recovers(&golden),
         }
     }
 }

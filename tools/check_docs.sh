@@ -58,7 +58,7 @@ done
 # 4. The README links every page of the book.
 for page in docs/architecture.md docs/sweep-format.md docs/cli.md \
         docs/observability.md docs/orchestration.md docs/analytics.md \
-        docs/robustness.md; do
+        docs/robustness.md docs/performance.md; do
     if ! grep -q "$page" README.md; then
         fail "README.md does not link $page"
     fi
@@ -148,6 +148,31 @@ if grep -qF '"--chaos"' "$scenarios_src"; then
 else
     fail "docs/robustness.md documents --chaos but $scenarios_src does not parse it"
 fi
+
+# 10. The parallel-execution surface cannot drift from its pages: if the
+#     scenarios binary parses --threads it must be documented in both
+#     docs/cli.md and docs/performance.md, and every thread count in the
+#     green-perf SCALING_THREADS ladder must have its scaling_paper_tN /
+#     scaling_mega_tN bench names backticked in docs/performance.md.
+if grep -qF '"--threads"' "$scenarios_src"; then
+    for doc in docs/cli.md docs/performance.md; do
+        if ! grep -qF -- '--threads' "$doc"; then
+            fail "the --threads flag is undocumented in $doc"
+        fi
+    done
+else
+    fail "docs/performance.md documents --threads but $scenarios_src does not parse it"
+fi
+scaling_threads=$(sed -n 's/.*SCALING_THREADS: \[usize; [0-9]*\] = \[\(.*\)\];.*/\1/p' \
+    "$green_perf_src" | tr ',' ' ')
+[ -n "$scaling_threads" ] || fail "could not extract SCALING_THREADS from $green_perf_src"
+for t in $scaling_threads; do
+    for bench in "scaling_paper_t$t" "scaling_mega_t$t"; do
+        if ! grep -q "\`$bench\`" docs/performance.md; then
+            fail "scaling bench \`$bench\` is undocumented in docs/performance.md"
+        fi
+    done
+done
 
 # 5. Workload presets stay in sync between parser and docs.
 for preset in micro tiny quick paper; do
